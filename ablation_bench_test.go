@@ -1,0 +1,141 @@
+// Ablation benchmarks for the design choices DESIGN.md §7 calls out:
+// the replacement threshold of Algorithm 1, the tag-buffer capacity,
+// and the two paper-named extensions (footprint caching and set
+// dueling). Each reports its figure of merit via b.ReportMetric.
+package banshee_test
+
+import (
+	"fmt"
+	"testing"
+
+	"banshee"
+)
+
+// BenchmarkThresholdAblation sweeps Algorithm 1's replacement threshold
+// around the paper's default (page_lines × coeff / 2 = 3.2): too low
+// thrashes, too high under-caches.
+func BenchmarkThresholdAblation(b *testing.B) {
+	for _, th := range []float64{1, 3.2, 8, 16} {
+		b.Run(fmt.Sprintf("threshold=%g", th), func(b *testing.B) {
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				base := mustRun(b, cfg, "pagerank", "NoCache")
+				cfg.Scheme, _ = banshee.ParseScheme("Banshee")
+				cfg.Scheme.BansheeThreshold = th
+				res := mustRun(b, cfg, "pagerank", "Banshee")
+				speedup = banshee.Speedup(res, base)
+			}
+			b.ReportMetric(speedup, "speedup-x")
+		})
+	}
+}
+
+// BenchmarkTagBufferAblation sweeps the per-MC tag-buffer capacity.
+// The paper notes doubling the buffer halves the effective PTE-update
+// cost (§5.5.2); the flush count is the visible effect.
+func BenchmarkTagBufferAblation(b *testing.B) {
+	for _, entries := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("entries=%d", entries), func(b *testing.B) {
+			var flushes float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				cfg.Scheme, _ = banshee.ParseScheme("Banshee")
+				cfg.Scheme.BansheeTagBufEntries = entries
+				res := mustRun(b, cfg, "pagerank", "Banshee")
+				flushes = float64(res.TagBufferFlushes)
+			}
+			b.ReportMetric(flushes, "flushes")
+		})
+	}
+}
+
+// BenchmarkFootprintExtension compares Banshee with and without the
+// orthogonal footprint-caching extension (§6): footprint fills should
+// cut replacement traffic on sparse-access workloads.
+func BenchmarkFootprintExtension(b *testing.B) {
+	for _, scheme := range []string{"Banshee", "Banshee FP"} {
+		b.Run(scheme, func(b *testing.B) {
+			var bpi float64
+			for i := 0; i < b.N; i++ {
+				res := mustRun(b, benchConfig(), "omnetpp", scheme)
+				bpi = res.InPkgBPI()
+			}
+			b.ReportMetric(bpi, "inpkg-B/i")
+		})
+	}
+}
+
+// BenchmarkSetDueling compares static FBR against the §5.2 set-dueling
+// extension on the workload class each policy favors: FBR on skewed
+// reuse (pagerank), always-replace on streams (lbm).
+func BenchmarkSetDueling(b *testing.B) {
+	for _, tc := range []struct{ workload, scheme string }{
+		{"pagerank", "Banshee"},
+		{"pagerank", "Banshee Duel"},
+		{"lbm", "Banshee"},
+		{"lbm", "Banshee Duel"},
+	} {
+		b.Run(tc.workload+"/"+tc.scheme, func(b *testing.B) {
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				base := mustRun(b, cfg, tc.workload, "NoCache")
+				res := mustRun(b, cfg, tc.workload, tc.scheme)
+				speedup = banshee.Speedup(res, base)
+			}
+			b.ReportMetric(speedup, "speedup-x")
+		})
+	}
+}
+
+// BenchmarkPrefetchAblation measures the §3.2 stream prefetcher's
+// effect under Banshee on a streaming workload.
+func BenchmarkPrefetchAblation(b *testing.B) {
+	for _, degree := range []int{0, 2, 4, 8} {
+		b.Run(fmt.Sprintf("degree=%d", degree), func(b *testing.B) {
+			var mpki float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				cfg.PrefetchDegree = degree
+				res := mustRun(b, cfg, "lbm", "Banshee")
+				mpki = float64(res.LLCMisses) / float64(res.Instructions) * 1000
+			}
+			b.ReportMetric(mpki, "LLC-MPKI")
+		})
+	}
+}
+
+// BenchmarkCAMEO places the related-work CAMEO organization next to
+// Banshee and Alloy on the main workload.
+func BenchmarkCAMEO(b *testing.B) {
+	for _, scheme := range []string{"CAMEO", "Alloy 1", "Banshee"} {
+		b.Run(scheme, func(b *testing.B) {
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				base := mustRun(b, cfg, "pagerank", "NoCache")
+				res := mustRun(b, cfg, "pagerank", scheme)
+				speedup = banshee.Speedup(res, base)
+			}
+			b.ReportMetric(speedup, "speedup-x")
+		})
+	}
+}
+
+// BenchmarkKernelWorkloads runs the graph-kernel trace variants through
+// Banshee (fidelity cross-check of the parametric generators).
+func BenchmarkKernelWorkloads(b *testing.B) {
+	for _, w := range []string{"pagerank_kernel", "graph500_kernel"} {
+		b.Run(w, func(b *testing.B) {
+			var hit float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				cfg.InstrPerCore = 200_000
+				res := mustRun(b, cfg, w, "Banshee")
+				hit = 100 * (1 - res.MissRate())
+			}
+			b.ReportMetric(hit, "hit-%")
+		})
+	}
+}

@@ -1,0 +1,66 @@
+// Package banshee is the public API of the Banshee DRAM-cache
+// reproduction: a trace-driven multicore memory-system simulator that
+// implements the Banshee design (Yu et al., MICRO 2017) alongside the
+// baselines its evaluation compares against (Alloy Cache + BEAR, Unison
+// Cache, tagless DRAM cache (TDC), software-managed HMA, and the
+// NoCache / CacheOnly bounds).
+//
+// The typical flow is three lines: build a Config (DefaultConfig gives
+// the paper's Table 2/3 system at the library's default 1/16 capacity
+// scale), pick a workload from Workloads() and a scheme from Schemes(),
+// and call Run. The returned Result carries cycles, MPKI, and the DRAM
+// traffic breakdown by class used throughout the paper's figures.
+//
+//	cfg := banshee.DefaultConfig()
+//	res, err := banshee.Run(cfg, "pagerank", "Banshee")
+//
+// For lower-level control (custom schemes, direct access to the tag
+// buffer, FBR metadata, DRAM timing, or the VM substrate), see the
+// internal packages; cmd/experiments regenerates every table and figure
+// of the paper's evaluation.
+package banshee
+
+import (
+	"banshee/internal/sim"
+	"banshee/internal/stats"
+	"banshee/internal/trace"
+)
+
+// Config is a full simulation configuration; see sim.Config for field
+// documentation. Zero values are invalid — start from DefaultConfig.
+type Config = sim.Config
+
+// Result is the set of measurements from one run.
+type Result = stats.Sim
+
+// SchemeSpec selects and tunes a DRAM-cache scheme.
+type SchemeSpec = sim.SchemeSpec
+
+// DefaultConfig returns the paper's 16-core system (Table 2) with
+// Banshee's Table 3 parameters, scaled per DESIGN.md §3.
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// Run simulates the named workload under the named scheme. Scheme names
+// follow the paper's labels: "NoCache", "CacheOnly", "Alloy 1",
+// "Alloy 0.1", "Unison", "TDC", "HMA", "Banshee", "Banshee LRU",
+// "Banshee NoSample", "Banshee 2M"; append "+BATMAN" for bandwidth
+// balancing (§5.4.2).
+func Run(cfg Config, workload, scheme string) (Result, error) {
+	return sim.Run(cfg, workload, scheme)
+}
+
+// Speedup returns how much faster a ran than base (the paper's Fig. 4
+// normalization when base is the NoCache run).
+func Speedup(a, base Result) float64 { return stats.Speedup(&a, &base) }
+
+// Workloads returns the evaluation's 16 workload names (§5.1.2).
+func Workloads() []string { return trace.Names() }
+
+// GraphWorkloads returns the graph-analytics subset (§5.4.1).
+func GraphWorkloads() []string { return trace.GraphNames() }
+
+// Schemes returns the scheme names of the paper's main comparison.
+func Schemes() []string { return sim.SchemeNames() }
+
+// ParseScheme resolves a display name into a tunable SchemeSpec.
+func ParseScheme(name string) (SchemeSpec, error) { return sim.ParseScheme(name) }

@@ -1,0 +1,66 @@
+package banshee_test
+
+import (
+	"testing"
+
+	"banshee"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	cfg := banshee.DefaultConfig()
+	cfg.Cores = 4
+	cfg.InstrPerCore = 120_000
+	cfg.Seed = 9
+
+	base, err := banshee.Run(cfg, "pagerank", "NoCache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := banshee.Run(cfg, "pagerank", "Banshee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if banshee.Speedup(res, base) <= 0 {
+		t.Fatal("speedup not positive")
+	}
+	if res.Scheme != "Banshee" || res.Workload != "pagerank" {
+		t.Fatalf("labels lost: %q/%q", res.Scheme, res.Workload)
+	}
+}
+
+func TestPublicLists(t *testing.T) {
+	if len(banshee.Workloads()) != 16 {
+		t.Fatalf("Workloads() returned %d names", len(banshee.Workloads()))
+	}
+	if len(banshee.GraphWorkloads()) != 5 {
+		t.Fatalf("GraphWorkloads() returned %d names", len(banshee.GraphWorkloads()))
+	}
+	for _, s := range banshee.Schemes() {
+		if _, err := banshee.ParseScheme(s); err != nil {
+			t.Errorf("scheme %q unparseable: %v", s, err)
+		}
+	}
+}
+
+func TestTuningPreservedThroughRun(t *testing.T) {
+	// The sweep contract: tuning fields set on cfg.Scheme survive Run's
+	// name-based scheme selection (regression test for the sweep-stomp
+	// bug).
+	cfg := banshee.DefaultConfig()
+	cfg.Cores = 4
+	cfg.InstrPerCore = 250_000
+	cfg.Seed = 4
+	lo, err := banshee.Run(cfg, "pagerank", "Banshee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Scheme.BansheeSamplingCoeff = 1.0
+	hi, err := banshee.Run(cfg, "pagerank", "Banshee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.CounterSamples <= lo.CounterSamples {
+		t.Fatalf("sampling coefficient ignored: %d vs %d samples",
+			hi.CounterSamples, lo.CounterSamples)
+	}
+}

@@ -1,0 +1,301 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (§5), plus micro-benchmarks of the core data structures.
+//
+// The experiment benchmarks run reduced-size simulations per iteration
+// and report the paper's metric via b.ReportMetric (speedup-x, B/i,
+// miss-%), so `go test -bench=.` regenerates the *shape* of every
+// result quickly; cmd/experiments runs the full-size versions.
+package banshee_test
+
+import (
+	"fmt"
+	"testing"
+
+	"banshee"
+	bcore "banshee/internal/banshee"
+	"banshee/internal/cache"
+	"banshee/internal/dram"
+	"banshee/internal/mem"
+	"banshee/internal/trace"
+	"banshee/internal/vm"
+)
+
+// benchConfig is the reduced-size system used by experiment benchmarks.
+func benchConfig() banshee.Config {
+	cfg := banshee.DefaultConfig()
+	cfg.Cores = 8
+	cfg.InstrPerCore = 400_000
+	cfg.Seed = 42
+	return cfg
+}
+
+func mustRun(b *testing.B, cfg banshee.Config, workload, scheme string) banshee.Result {
+	b.Helper()
+	res, err := banshee.Run(cfg, workload, scheme)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFig4 regenerates Fig. 4's bars: speedup over NoCache per
+// scheme on a representative workload.
+func BenchmarkFig4(b *testing.B) {
+	for _, scheme := range []string{"Unison", "TDC", "Alloy 1", "Alloy 0.1", "Banshee", "CacheOnly"} {
+		b.Run(scheme, func(b *testing.B) {
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				base := mustRun(b, cfg, "pagerank", "NoCache")
+				res := mustRun(b, cfg, "pagerank", scheme)
+				speedup = banshee.Speedup(res, base)
+			}
+			b.ReportMetric(speedup, "speedup-x")
+		})
+	}
+}
+
+// BenchmarkFig5 regenerates Fig. 5: in-package traffic per scheme.
+func BenchmarkFig5(b *testing.B) {
+	for _, scheme := range []string{"Unison", "TDC", "Alloy 1", "Alloy 0.1", "Banshee"} {
+		b.Run(scheme, func(b *testing.B) {
+			var bpi float64
+			for i := 0; i < b.N; i++ {
+				res := mustRun(b, benchConfig(), "pagerank", scheme)
+				bpi = res.InPkgBPI()
+			}
+			b.ReportMetric(bpi, "inpkg-B/i")
+		})
+	}
+}
+
+// BenchmarkFig6 regenerates Fig. 6: off-package traffic per scheme.
+func BenchmarkFig6(b *testing.B) {
+	for _, scheme := range []string{"Unison", "TDC", "Alloy 1", "Alloy 0.1", "Banshee"} {
+		b.Run(scheme, func(b *testing.B) {
+			var bpi float64
+			for i := 0; i < b.N; i++ {
+				res := mustRun(b, benchConfig(), "pagerank", scheme)
+				bpi = res.OffPkgBPI()
+			}
+			b.ReportMetric(bpi, "offpkg-B/i")
+		})
+	}
+}
+
+// BenchmarkFig7 regenerates the replacement-policy ablation.
+func BenchmarkFig7(b *testing.B) {
+	for _, policy := range []string{"Banshee LRU", "Banshee NoSample", "Banshee", "TDC"} {
+		b.Run(policy, func(b *testing.B) {
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				base := mustRun(b, cfg, "pagerank", "NoCache")
+				res := mustRun(b, cfg, "pagerank", policy)
+				speedup = banshee.Speedup(res, base)
+			}
+			b.ReportMetric(speedup, "speedup-x")
+		})
+	}
+}
+
+// BenchmarkFig8Latency regenerates Fig. 8b: the in-package latency sweep.
+func BenchmarkFig8Latency(b *testing.B) {
+	for _, scale := range []float64{1.0, 0.66, 0.50} {
+		b.Run(fmt.Sprintf("lat=%.0f%%", scale*100), func(b *testing.B) {
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				cfg.InPkgLatScale = scale
+				base := mustRun(b, cfg, "pagerank", "NoCache")
+				res := mustRun(b, cfg, "pagerank", "Banshee")
+				speedup = banshee.Speedup(res, base)
+			}
+			b.ReportMetric(speedup, "speedup-x")
+		})
+	}
+}
+
+// BenchmarkFig8Bandwidth regenerates Fig. 8c: the bandwidth sweep.
+func BenchmarkFig8Bandwidth(b *testing.B) {
+	for _, channels := range []int{8, 4, 2} {
+		b.Run(fmt.Sprintf("bw=%dx", channels), func(b *testing.B) {
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				cfg.InPkgChannels = channels
+				base := mustRun(b, cfg, "pagerank", "NoCache")
+				res := mustRun(b, cfg, "pagerank", "Banshee")
+				speedup = banshee.Speedup(res, base)
+			}
+			b.ReportMetric(speedup, "speedup-x")
+		})
+	}
+}
+
+// BenchmarkFig9 regenerates the sampling-coefficient sweep: miss rate
+// and counter traffic.
+func BenchmarkFig9(b *testing.B) {
+	for _, coeff := range []float64{1, 0.1, 0.01} {
+		b.Run(fmt.Sprintf("coeff=%g", coeff), func(b *testing.B) {
+			var miss, counterBPI float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				cfg.Scheme, _ = banshee.ParseScheme("Banshee")
+				cfg.Scheme.BansheeSamplingCoeff = coeff
+				res := mustRun(b, cfg, "pagerank", "Banshee")
+				miss = res.MissRate() * 100
+				counterBPI = res.ClassBPI(mem.ClassCounter)
+			}
+			b.ReportMetric(miss, "miss-%")
+			b.ReportMetric(counterBPI, "counter-B/i")
+		})
+	}
+}
+
+// BenchmarkTable5 regenerates the PTE-update cost sweep.
+func BenchmarkTable5(b *testing.B) {
+	for _, us := range []float64{10, 20, 40} {
+		b.Run(fmt.Sprintf("cost=%.0fus", us), func(b *testing.B) {
+			var loss float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				cfg.Scheme, _ = banshee.ParseScheme("Banshee")
+				cfg.Scheme.PTEUpdateMicros = 0.001
+				free := mustRun(b, cfg, "pagerank", "Banshee")
+				cfg.Scheme.PTEUpdateMicros = us
+				cost := mustRun(b, cfg, "pagerank", "Banshee")
+				loss = (float64(cost.Cycles)/float64(free.Cycles) - 1) * 100
+			}
+			b.ReportMetric(loss, "perf-loss-%")
+		})
+	}
+}
+
+// BenchmarkTable6 regenerates the associativity sweep.
+func BenchmarkTable6(b *testing.B) {
+	for _, ways := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("ways=%d", ways), func(b *testing.B) {
+			var miss float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				cfg.Scheme, _ = banshee.ParseScheme("Banshee")
+				cfg.Scheme.BansheeWays = ways
+				res := mustRun(b, cfg, "pagerank", "Banshee")
+				miss = res.MissRate() * 100
+			}
+			b.ReportMetric(miss, "miss-%")
+		})
+	}
+}
+
+// BenchmarkLargePages regenerates §5.4.1: 2 MB vs 4 KB pages.
+func BenchmarkLargePages(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig()
+		small := mustRun(b, cfg, "pagerank", "Banshee")
+		cfg.LargePages = true
+		large := mustRun(b, cfg, "pagerank", "Banshee 2M")
+		gain = (banshee.Speedup(large, small) - 1) * 100
+	}
+	b.ReportMetric(gain, "2M-gain-%")
+}
+
+// BenchmarkBatman regenerates §5.4.2: bandwidth balancing gains.
+func BenchmarkBatman(b *testing.B) {
+	for _, scheme := range []string{"Alloy 1", "Banshee"} {
+		b.Run(scheme, func(b *testing.B) {
+			var gain float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				plain := mustRun(b, cfg, "pagerank", scheme)
+				bal := mustRun(b, cfg, "pagerank", scheme+"+BATMAN")
+				gain = (banshee.Speedup(bal, plain) - 1) * 100
+			}
+			b.ReportMetric(gain, "batman-gain-%")
+		})
+	}
+}
+
+// ---- Micro-benchmarks of the core structures ----
+
+// BenchmarkTagBuffer measures the tag buffer's lookup/insert path — the
+// structure on every LLC miss's way through a Banshee MC.
+func BenchmarkTagBuffer(b *testing.B) {
+	tb := bcore.NewTagBuffer(1024, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		page := uint64(i) % 4096
+		if _, hit := tb.Lookup(page); !hit {
+			if !tb.InsertClean(page, true, uint8(i%4)) {
+				tb.DrainRemaps()
+			}
+		}
+	}
+}
+
+// BenchmarkBansheeAccess measures the full scheme access path
+// (mapping resolution + sampled FBR).
+func BenchmarkBansheeAccess(b *testing.B) {
+	pt := vm.NewPageTable()
+	cfg := bcore.DefaultConfig(64 << 20)
+	cfg.Seed = 1
+	s := bcore.New(cfg, pt, nil, vm.DefaultCostModel(2700))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := mem.Addr(uint64(i*2654435761) % (256 << 20))
+		pte := pt.Translate(addr)
+		s.Access(mem.Request{Addr: addr, Mapping: pte.Mapping()})
+	}
+}
+
+// BenchmarkDRAMAccess measures the channel timing model.
+func BenchmarkDRAMAccess(b *testing.B) {
+	d := dram.New(dram.InPackageConfig(2700))
+	b.ResetTimer()
+	now := uint64(0)
+	for i := 0; i < b.N; i++ {
+		a := mem.Addr(uint64(i*2654435761) % (1 << 30))
+		d.Access(now, a, 64, i%4 == 0, i%2 == 0)
+		now += 10
+	}
+}
+
+// BenchmarkSRAMCache measures the L-level cache lookup path.
+func BenchmarkSRAMCache(b *testing.B) {
+	c := cache.New(cache.Config{
+		Name: "bench", SizeBytes: 512 << 10, Ways: 16, LineBytes: 64, Policy: cache.LRU,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := mem.Addr(uint64(i*2654435761) % (4 << 20))
+		c.Access(a, i%4 == 0, 0)
+	}
+}
+
+// BenchmarkTraceGen measures workload event generation.
+func BenchmarkTraceGen(b *testing.B) {
+	w, err := trace.New("pagerank", 16, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Next(i % 16)
+	}
+}
+
+// BenchmarkEndToEnd measures whole-simulation throughput
+// (instructions simulated per wall-second is 1/ns-per-op × instr).
+func BenchmarkEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := banshee.DefaultConfig()
+		cfg.Cores = 4
+		cfg.InstrPerCore = 100_000
+		cfg.Seed = uint64(i + 1)
+		if _, err := banshee.Run(cfg, "mix1", "Banshee"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

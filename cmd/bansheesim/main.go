@@ -1,0 +1,77 @@
+// Command bansheesim runs one workload under one DRAM-cache scheme and
+// prints the headline statistics: cycles, IPC, DRAM-cache MPKI and miss
+// rate, and the in-/off-package traffic breakdown by class.
+//
+// Usage:
+//
+//	bansheesim -workload pagerank -scheme Banshee
+//	bansheesim -workload lbm -scheme "Alloy 0.1" -instr 2000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"banshee/internal/mem"
+	"banshee/internal/sim"
+	"banshee/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "pagerank", "workload name (see -list)")
+		scheme   = flag.String("scheme", "Banshee", `scheme display name ("NoCache", "Unison", "TDC", "Alloy 1", "Alloy 0.1", "HMA", "Banshee", "Banshee LRU", "Banshee NoSample", "Banshee 2M", "CacheOnly"; append "+BATMAN" to balance bandwidth)`)
+		instr    = flag.Uint64("instr", 0, "instructions per core (0 = default)")
+		cores    = flag.Int("cores", 0, "core count (0 = default 16)")
+		seed     = flag.Uint64("seed", 42, "simulation seed")
+		large    = flag.Bool("largepages", false, "back all data with 2 MB pages")
+		list     = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range trace.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.LargePages = *large
+	if *instr > 0 {
+		cfg.InstrPerCore = *instr
+	}
+	if *cores > 0 {
+		cfg.Cores = *cores
+	}
+
+	st, err := sim.Run(cfg, *workload, *scheme)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bansheesim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload      %s\n", st.Workload)
+	fmt.Printf("scheme        %s\n", st.Scheme)
+	fmt.Printf("instructions  %d\n", st.Instructions)
+	fmt.Printf("cycles        %d\n", st.Cycles)
+	fmt.Printf("IPC           %.3f\n", st.IPC())
+	fmt.Printf("LLC misses    %d (evictions %d)\n", st.LLCMisses, st.LLCEvictions)
+	fmt.Printf("avg miss lat  %.0f cycles\n", st.AvgMissLat())
+	fmt.Printf("DC hit rate   %.1f%%  (MPKI %.2f)\n", 100*(1-st.MissRate()), st.MPKI())
+	fmt.Printf("in-pkg  B/i   %.3f\n", st.InPkgBPI())
+	for _, c := range mem.Classes() {
+		if st.InPkg.Bytes[c] > 0 {
+			fmt.Printf("  %-12s%.3f\n", c, float64(st.InPkg.Bytes[c])/float64(st.Instructions))
+		}
+	}
+	fmt.Printf("off-pkg B/i   %.3f\n", st.OffPkgBPI())
+	if st.TagBufferFlushes > 0 {
+		fmt.Printf("tag-buffer flushes %d (shootdowns %d)\n", st.TagBufferFlushes, st.TLBShootdowns)
+	}
+	if st.Remaps > 0 {
+		fmt.Printf("remaps        %d\n", st.Remaps)
+	}
+}

@@ -1,0 +1,127 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (§5). Each -run target prints a paper-style table;
+// "all" runs the full suite in order. See DESIGN.md §4 for the
+// experiment index and EXPERIMENTS.md for recorded paper-vs-measured
+// comparisons.
+//
+// Usage:
+//
+//	experiments -run fig4
+//	experiments -run all -instr 2000000
+//	experiments -run fig5 -workloads pagerank,lbm,mcf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"banshee/internal/exp"
+)
+
+func main() {
+	var (
+		run       = flag.String("run", "all", "experiment: table1|fig4|fig5|fig6|fig7|fig8|fig9|table5|table6|largepage|batman|all")
+		instr     = flag.Uint64("instr", 0, "instructions per core (0 = default)")
+		seed      = flag.Uint64("seed", 42, "base seed")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (default: the paper's 16)")
+		verbose   = flag.Bool("v", false, "print per-run progress")
+		intensity = flag.Float64("intensity", 0, "memory-intensity multiplier (0 = default)")
+	)
+	flag.Parse()
+
+	o := exp.Options{Instr: *instr, Seed: *seed, Intensity: *intensity}
+	if *verbose {
+		o.Progress = os.Stderr
+	}
+	if *workloads != "" {
+		o.Workloads = strings.Split(*workloads, ",")
+	}
+
+	targets := map[string]func(exp.Options){
+		"table1": func(exp.Options) { fmt.Println(exp.Table1()) },
+		"fig4": func(o exp.Options) {
+			r := exp.Fig4(o)
+			fmt.Println(r.Table())
+			for base, gain := range r.BansheeGains() {
+				fmt.Printf("Banshee vs %-10s %+.1f%%\n", base+":", 100*gain)
+			}
+			fmt.Println()
+		},
+		"fig5": func(o exp.Options) {
+			r := exp.Traffic(o)
+			fmt.Println(r.InPkgTable())
+			avg := r.AvgInPkg()
+			fmt.Printf("average in-package traffic (B/instr):")
+			for _, s := range r.Schemes {
+				fmt.Printf("  %s=%.2f", s, avg[s])
+			}
+			fmt.Println()
+			fmt.Println()
+		},
+		"fig6": func(o exp.Options) {
+			r := exp.Traffic(o)
+			fmt.Println(r.OffPkgTable())
+		},
+		"traffic": func(o exp.Options) {
+			r := exp.Traffic(o)
+			fmt.Println(r.InPkgTable())
+			avg := r.AvgInPkg()
+			fmt.Printf("average in-package traffic (B/instr):")
+			for _, s := range r.Schemes {
+				fmt.Printf("  %s=%.2f", s, avg[s])
+			}
+			fmt.Println()
+			fmt.Println()
+			fmt.Println(r.OffPkgTable())
+			avgOff := r.AvgOffPkg()
+			fmt.Printf("average off-package traffic (B/instr):")
+			for _, s := range r.Schemes {
+				fmt.Printf("  %s=%.2f", s, avgOff[s])
+			}
+			fmt.Println()
+		},
+		"fig7": func(o exp.Options) { fmt.Println(exp.Fig7(o).Table()) },
+		"fig8": func(o exp.Options) {
+			for _, t := range exp.Fig8(o).Tables() {
+				fmt.Println(t)
+			}
+		},
+		"fig9": func(o exp.Options) { fmt.Println(exp.Fig9(o).Table()) },
+		"table5": func(o exp.Options) {
+			r := exp.Table5(o)
+			fmt.Println(r.Table())
+			fmt.Printf("mean tag-buffer flush interval: %.2f ms (scaled run)\n\n", r.FlushIntervalMs)
+		},
+		"table6":    func(o exp.Options) { fmt.Println(exp.Table6(o).Table()) },
+		"largepage": func(o exp.Options) { fmt.Println(exp.LargePages(o).Table()) },
+		"batman":    func(o exp.Options) { fmt.Println(exp.Batman(o).Table()) },
+	}
+
+	order := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table5", "table6", "largepage", "batman"}
+	if *run == "all" {
+		for _, name := range order {
+			if name == "fig6" {
+				continue // folded into fig5's matrix below
+			}
+			fmt.Printf("=== %s ===\n", name)
+			if name == "fig5" {
+				// One simulation matrix serves both traffic figures.
+				r := exp.Traffic(o)
+				fmt.Println(r.InPkgTable())
+				fmt.Println("=== fig6 ===")
+				fmt.Println(r.OffPkgTable())
+				continue
+			}
+			targets[name](o)
+		}
+		return
+	}
+	f, ok := targets[*run]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "experiments: unknown target %q (valid: %s, all)\n", *run, strings.Join(order, ", "))
+		os.Exit(1)
+	}
+	f(o)
+}

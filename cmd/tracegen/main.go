@@ -1,0 +1,92 @@
+// Command tracegen inspects the synthetic workload generators: it
+// prints a stream sample or aggregate statistics (footprint touched,
+// page-popularity skew, spatial run lengths, write fraction) so the
+// calibration behind internal/trace is visible and auditable.
+//
+// Usage:
+//
+//	tracegen -workload pagerank -n 20            # dump 20 events
+//	tracegen -workload lbm -n 200000 -summary    # aggregate statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"banshee/internal/mem"
+	"banshee/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "pagerank", "workload name")
+		cores    = flag.Int("cores", 16, "core count")
+		n        = flag.Int("n", 20, "events to generate (per summary, total)")
+		core     = flag.Int("core", 0, "core whose stream to sample")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		summary  = flag.Bool("summary", false, "print aggregate statistics instead of events")
+		scale    = flag.Float64("scale", 1.0/16, "footprint scale factor (matches the simulator's default)")
+	)
+	flag.Parse()
+
+	w, err := trace.New(*workload, *cores, *seed, trace.WithScale(*scale))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+
+	if !*summary {
+		for i := 0; i < *n; i++ {
+			ev := w.Next(*core)
+			op := "R"
+			if ev.Write {
+				op = "W"
+			}
+			fmt.Printf("%6d  gap=%-5d %s %#014x  page=%#x line=%d\n",
+				i, ev.Gap, op, uint64(ev.Addr), mem.PageNum(ev.Addr), mem.LineInPage(ev.Addr))
+		}
+		return
+	}
+
+	pages := map[uint64]int{}
+	lines := map[uint64]int{}
+	writes, gaps, seq := 0, 0, 0
+	var prev mem.Addr
+	for i := 0; i < *n; i++ {
+		ev := w.Next(*core)
+		pages[mem.PageNum(ev.Addr)]++
+		lines[mem.LineNum(ev.Addr)]++
+		gaps += ev.Gap
+		if ev.Write {
+			writes++
+		}
+		if i > 0 && ev.Addr == prev+mem.LineBytes {
+			seq++
+		}
+		prev = ev.Addr
+	}
+	counts := make([]int, 0, len(pages))
+	for _, c := range pages {
+		counts = append(counts, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	topDecile, total := 0, 0
+	for i, c := range counts {
+		total += c
+		if i < len(counts)/10 {
+			topDecile += c
+		}
+	}
+
+	fmt.Printf("workload           %s (core %d, %d events)\n", *workload, *core, *n)
+	fmt.Printf("footprint declared %.1f MB\n", float64(w.Footprint())/(1<<20))
+	fmt.Printf("pages touched      %d (%.1f MB)\n", len(pages), float64(len(pages)*mem.PageBytes)/(1<<20))
+	fmt.Printf("lines touched      %d\n", len(lines))
+	fmt.Printf("mean gap           %.1f instr (memratio %.4f)\n",
+		float64(gaps)/float64(*n), float64(*n)/float64(gaps+*n))
+	fmt.Printf("write fraction     %.2f\n", float64(writes)/float64(*n))
+	fmt.Printf("sequential frac    %.2f\n", float64(seq)/float64(*n))
+	fmt.Printf("top-decile pages   %.0f%% of visits\n", 100*float64(topDecile)/float64(total))
+}

@@ -1,0 +1,39 @@
+// Large (2 MB) page support (§4.3/§5.4.1): Banshee manages large pages
+// with the same PTE/TLB machinery, a smaller sampling coefficient
+// (0.001) and a correspondingly scaled replacement threshold. This
+// example runs the graph workloads with all data on 2 MB pages and
+// compares against 4 KB pages.
+//
+//	go run ./examples/largepages
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"banshee"
+)
+
+func main() {
+	cfg := banshee.DefaultConfig()
+	cfg.InstrPerCore = 1_200_000
+	cfg.Seed = 5
+
+	fmt.Printf("%-10s  %10s  %10s  %9s\n", "workload", "4K cycles", "2M cycles", "2M gain")
+	for _, w := range banshee.GraphWorkloads() {
+		small, err := banshee.Run(cfg, w, "Banshee")
+		if err != nil {
+			log.Fatal(err)
+		}
+		lcfg := cfg
+		lcfg.LargePages = true
+		large, err := banshee.Run(lcfg, w, "Banshee 2M")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s  %10d  %10d  %8.1f%%\n",
+			w, small.Cycles, large.Cycles, 100*(banshee.Speedup(large, small)-1))
+	}
+	fmt.Println("\nThe paper reports ~3.6% average gain from better hot-page")
+	fmt.Println("detection and fewer counter/PTE updates at 2 MB granularity.")
+}

@@ -1,0 +1,43 @@
+// Quickstart: simulate one workload under Banshee and print the
+// headline metrics. This is the smallest useful program against the
+// library's public API (package banshee at the module root).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"banshee"
+)
+
+func main() {
+	// A default system is the paper's Table 2/3 machine at the library's
+	// default scale: 16 cores, 64 MB DRAM cache (4 channels in-package,
+	// 1 channel off-package), 4-way Banshee with 10% sampling.
+	cfg := banshee.DefaultConfig()
+	cfg.InstrPerCore = 1_000_000 // keep the demo quick
+	cfg.Seed = 1
+
+	result, err := banshee.Run(cfg, "pagerank", "Banshee")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload:           %s\n", result.Workload)
+	fmt.Printf("scheme:             %s\n", result.Scheme)
+	fmt.Printf("instructions:       %d\n", result.Instructions)
+	fmt.Printf("cycles:             %d (IPC %.2f)\n", result.Cycles, result.IPC())
+	fmt.Printf("DRAM cache MPKI:    %.1f (hit rate %.0f%%)\n", result.MPKI(), 100*(1-result.MissRate()))
+	fmt.Printf("in-package  bytes/instr: %.2f\n", result.InPkgBPI())
+	fmt.Printf("off-package bytes/instr: %.2f\n", result.OffPkgBPI())
+	fmt.Printf("page remaps:        %d (PTE sync rounds: %d)\n", result.Remaps, result.TagBufferFlushes)
+
+	// Compare against the NoCache baseline the paper normalizes to.
+	base, err := banshee.Run(cfg, "pagerank", "NoCache")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("speedup vs NoCache: %.2fx\n", banshee.Speedup(result, base))
+}

@@ -1,0 +1,219 @@
+package alloy
+
+import (
+	"testing"
+
+	"banshee/internal/mem"
+)
+
+func newTest(fillP float64) *Alloy {
+	return New(Config{CapacityBytes: 1 << 20, FillProb: fillP, Seed: 1})
+}
+
+func bytesTo(ops []mem.Op, target mem.Kind) int {
+	n := 0
+	for _, op := range ops {
+		if op.Target == target {
+			n += op.Bytes
+		}
+	}
+	return n
+}
+
+func TestNames(t *testing.T) {
+	if newTest(1).Name() != "Alloy 1" {
+		t.Fatal("Alloy 1 name wrong")
+	}
+	if newTest(0.1).Name() != "Alloy 0.1" {
+		t.Fatal("Alloy 0.1 name wrong")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{CapacityBytes: 0, FillProb: 1},
+		{CapacityBytes: 3 * 64, FillProb: 1}, // not power-of-two lines
+		{CapacityBytes: 1 << 20, FillProb: 0},
+		{CapacityBytes: 1 << 20, FillProb: 1.5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+// Table 1: Alloy hit traffic is 96 B (data + tag), latency ~1x (single
+// stage).
+func TestHitTraffic(t *testing.T) {
+	a := newTest(1)
+	a.Access(mem.Request{Addr: 0x1000})        // miss fills
+	res := a.Access(mem.Request{Addr: 0x1000}) // hit
+	if !res.Hit {
+		t.Fatal("expected hit after fill")
+	}
+	if got := bytesTo(res.Ops, mem.InPackage); got != 96 {
+		t.Fatalf("hit in-package bytes %d, want 96", got)
+	}
+	if bytesTo(res.Ops, mem.OffPackage) != 0 {
+		t.Fatal("hit touched off-package")
+	}
+	for _, op := range res.Ops {
+		if op.Stage != 0 {
+			t.Fatal("hit must complete in one stage (~1x latency)")
+		}
+	}
+}
+
+// Table 1: Alloy miss traffic is 96 B speculative + fill; the
+// off-package fetch is serialized in stage 1 (the parallel-probe
+// optimization is disabled, §5.1.1).
+func TestMissTrafficAndSerialization(t *testing.T) {
+	a := newTest(1)
+	res := a.Access(mem.Request{Addr: 0x2000})
+	if res.Hit {
+		t.Fatal("cold access hit")
+	}
+	if got := bytesTo(res.Ops, mem.InPackage); got != 96+96 { // probe + fill
+		t.Fatalf("miss in-package bytes %d, want 192", got)
+	}
+	var offStage uint8
+	for _, op := range res.Ops {
+		if op.Target == mem.OffPackage && op.Critical {
+			offStage = op.Stage
+		}
+	}
+	if offStage != 1 {
+		t.Fatalf("off-package fetch at stage %d, want 1 (serialized)", offStage)
+	}
+}
+
+func TestStochasticReplacement(t *testing.T) {
+	a := newTest(0.1)
+	fills := 0
+	for i := 0; i < 10000; i++ {
+		res := a.Access(mem.Request{Addr: mem.Addr(i) * 64 * (1 << 14)}) // all same set? no: distinct sets
+		_ = res
+	}
+	fills = int(a.fills)
+	if fills < 700 || fills > 1300 {
+		t.Fatalf("Alloy 0.1 filled %d of 10000 misses, want ~1000", fills)
+	}
+}
+
+func TestAlwaysReplaceFillsEveryMiss(t *testing.T) {
+	a := newTest(1)
+	for i := 0; i < 1000; i++ {
+		a.Access(mem.Request{Addr: mem.Addr(i * 64)})
+	}
+	if a.fills != 1000 {
+		t.Fatalf("Alloy 1 filled %d of 1000 misses", a.fills)
+	}
+	if a.Occupancy() != 1000 {
+		t.Fatalf("occupancy %d", a.Occupancy())
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	a := newTest(1)
+	lines := uint64(1 << 20 / 64)
+	a.Access(mem.Request{Addr: 0})
+	a.Access(mem.Request{Addr: mem.Addr(lines * 64)}) // same set, different tag
+	res := a.Access(mem.Request{Addr: 0})
+	if res.Hit {
+		t.Fatal("direct-mapped conflict did not evict")
+	}
+}
+
+func TestDirtyVictimWriteback(t *testing.T) {
+	a := newTest(1)
+	lines := uint64(1 << 20 / 64)
+	a.Access(mem.Request{Addr: 0})
+	// Dirty the line via an eviction write.
+	evRes := a.Access(mem.Request{Addr: 0, Write: true, Eviction: true})
+	if !evRes.Hit {
+		t.Fatal("eviction probe missed resident line")
+	}
+	// Conflict miss must write the dirty victim back off-package.
+	res := a.Access(mem.Request{Addr: mem.Addr(lines * 64)})
+	foundWB := false
+	for _, op := range res.Ops {
+		if op.Target == mem.OffPackage && op.Write && op.Class == mem.ClassReplacement {
+			foundWB = true
+			if op.Addr != 0 {
+				t.Fatalf("writeback addr %#x, want 0", uint64(op.Addr))
+			}
+		}
+	}
+	if !foundWB {
+		t.Fatal("dirty victim not written back")
+	}
+}
+
+// BEAR write probe: an eviction pays a 32 B tag probe, not a full TAD
+// read.
+func TestEvictionProbeTraffic(t *testing.T) {
+	a := newTest(1)
+	res := a.Access(mem.Request{Addr: 0x9000, Write: true, Eviction: true})
+	if res.Hit {
+		t.Fatal("eviction hit on empty cache")
+	}
+	inB := bytesTo(res.Ops, mem.InPackage)
+	if inB != 32 {
+		t.Fatalf("eviction probe in-package bytes %d, want 32", inB)
+	}
+	if got := bytesTo(res.Ops, mem.OffPackage); got != 64 {
+		t.Fatalf("eviction miss off-package bytes %d, want 64", got)
+	}
+}
+
+func TestEvictionHitWritesInPackage(t *testing.T) {
+	a := newTest(1)
+	a.Access(mem.Request{Addr: 0x9000})
+	res := a.Access(mem.Request{Addr: 0x9000, Write: true, Eviction: true})
+	if !res.Hit {
+		t.Fatal("eviction missed resident line")
+	}
+	if got := bytesTo(res.Ops, mem.InPackage); got != 32+64 {
+		t.Fatalf("eviction hit bytes %d, want 96", got)
+	}
+}
+
+func TestTrafficClassesOnHit(t *testing.T) {
+	a := newTest(1)
+	a.Access(mem.Request{Addr: 0x3000})
+	res := a.Access(mem.Request{Addr: 0x3000})
+	var hitData, tag int
+	for _, op := range res.Ops {
+		switch op.Class {
+		case mem.ClassHitData:
+			hitData += op.Bytes
+		case mem.ClassTag:
+			tag += op.Bytes
+		}
+	}
+	if hitData != 64 || tag != 32 {
+		t.Fatalf("hit classes: data %d tag %d, want 64/32", hitData, tag)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() []bool {
+		a := newTest(0.1)
+		var hits []bool
+		for i := 0; i < 2000; i++ {
+			hits = append(hits, a.Access(mem.Request{Addr: mem.Addr(i%500) * 64}).Hit)
+		}
+		return hits
+	}
+	x, y := mk(), mk()
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("runs diverged at %d", i)
+		}
+	}
+}

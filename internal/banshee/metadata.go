@@ -1,0 +1,139 @@
+package banshee
+
+import (
+	"fmt"
+
+	"banshee/internal/mc"
+)
+
+// The per-set metadata of Fig. 3: 32 bytes per set holding tags and
+// frequency counters for the cached pages (one per way, with valid and
+// dirty bits) and for the candidate pages being considered for
+// insertion. With 4 ways this is 4 cached + 5 candidate entries, 5-bit
+// counters — 0.2% overhead. The metadata lives in dedicated tag rows of
+// the in-package DRAM; every load or store of it costs one 32 B burst,
+// which is exactly the traffic the sampling policy minimizes.
+
+// metaBytes is the metadata size per set moved on each sampled access.
+const metaBytes = 32
+
+type cachedEntry struct {
+	tag   uint64
+	count uint32
+	valid bool
+	dirty bool
+	// touched tracks the lines referenced during this residency; only
+	// consulted by the footprint extension (idealized predictor state,
+	// kept controller-side at no traffic cost, like Unison's grant).
+	touched mc.Touched
+}
+
+type candEntry struct {
+	tag   uint64
+	count uint32
+	valid bool
+}
+
+type metaSet struct {
+	cached []cachedEntry
+	cand   []candEntry
+}
+
+// findCached returns the way holding tag, or -1.
+func (m *metaSet) findCached(tag uint64) int {
+	for i := range m.cached {
+		if m.cached[i].valid && m.cached[i].tag == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+// findCand returns the candidate index holding tag, or -1.
+func (m *metaSet) findCand(tag uint64) int {
+	for i := range m.cand {
+		if m.cand[i].valid && m.cand[i].tag == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+// minCached returns the way index of the valid cached page with the
+// minimal counter, or -1 if the set has an invalid (free) way, in which
+// case the free way's index is returned with found=false.
+func (m *metaSet) minCached() (way int, free bool) {
+	minWay := -1
+	for i := range m.cached {
+		if !m.cached[i].valid {
+			return i, true
+		}
+		if minWay < 0 || m.cached[i].count < m.cached[minWay].count {
+			minWay = i
+		}
+	}
+	return minWay, false
+}
+
+// halve divides every counter in the set by two (the hardware shift on
+// counter saturation, Algorithm 1 lines 10-14).
+func (m *metaSet) halve() {
+	for i := range m.cached {
+		m.cached[i].count /= 2
+	}
+	for i := range m.cand {
+		m.cand[i].count /= 2
+	}
+}
+
+// metadata is the full tag/counter store: one metaSet per cache set.
+type metadata struct {
+	sets     []metaSet
+	maxCount uint32
+}
+
+func newMetadata(nsets, ways, candidates int, counterBits int) *metadata {
+	if counterBits <= 0 || counterBits > 31 {
+		panic(fmt.Sprintf("banshee: counter bits %d out of range", counterBits))
+	}
+	md := &metadata{
+		sets:     make([]metaSet, nsets),
+		maxCount: 1<<uint(counterBits) - 1,
+	}
+	for i := range md.sets {
+		md.sets[i] = metaSet{
+			cached: make([]cachedEntry, ways),
+			cand:   make([]candEntry, candidates),
+		}
+	}
+	return md
+}
+
+// set returns the metadata set for a page, using the low page-number
+// bits as the set index (the caller guarantees power-of-two set counts).
+func (md *metadata) set(page uint64) *metaSet {
+	return &md.sets[page&uint64(len(md.sets)-1)]
+}
+
+// tagOf strips the set-index bits from a page number.
+func (md *metadata) tagOf(page uint64) uint64 {
+	bits := 0
+	for n := len(md.sets); n > 1; n >>= 1 {
+		bits++
+	}
+	return page >> uint(bits)
+}
+
+// pageOf reconstructs a page number from a set index and tag.
+func (md *metadata) pageOf(setIdx int, tag uint64) uint64 {
+	bits := 0
+	for n := len(md.sets); n > 1; n >>= 1 {
+		bits++
+	}
+	return tag<<uint(bits) | uint64(setIdx)
+}
+
+// setIndex returns the set index for a page.
+func (md *metadata) setIndex(page uint64) int {
+	return int(page & uint64(len(md.sets)-1))
+}

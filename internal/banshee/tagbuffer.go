@@ -1,0 +1,171 @@
+// Package banshee implements the paper's contribution: a page-granularity
+// DRAM cache that tracks contents through PTE/TLB extension bits, keeps
+// recently remapped pages in per-memory-controller Tag Buffers so PTE and
+// TLB updates can be batched lazily (§3), and replaces pages with a
+// sampling-based, bandwidth-aware frequency-based replacement policy
+// (§4, Algorithm 1). Large (2 MB) pages are supported by instantiating
+// the same machinery at large-page granularity (§4.3).
+package banshee
+
+import (
+	"fmt"
+
+	"banshee/internal/mem"
+)
+
+// tbEntry is one tag-buffer slot (Fig. 2): physical page tag, valid bit,
+// cached/way mapping, and the remap bit marking mappings not yet written
+// back to the page table.
+type tbEntry struct {
+	page   uint64
+	valid  bool
+	remap  bool
+	cached bool
+	way    uint8
+	stamp  uint64 // LRU among remap-unset entries
+}
+
+// TagBuffer is one memory controller's buffer of recently remapped
+// pages (§3.3). It is set-associative with LRU replacement masked to
+// entries whose remap bit is unset: remapped entries are pinned until a
+// flush writes them to the page table.
+type TagBuffer struct {
+	sets [][]tbEntry
+	mask uint64
+	tick uint64
+
+	remapCount int // live entries with remap set
+
+	hits, misses uint64
+}
+
+// NewTagBuffer builds a buffer with `entries` total slots organized as
+// `ways`-way sets. entries/ways must be a power of two.
+func NewTagBuffer(entries, ways int) *TagBuffer {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic(fmt.Sprintf("banshee: bad tag buffer geometry %d entries / %d ways", entries, ways))
+	}
+	nsets := entries / ways
+	if nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("banshee: tag buffer set count %d must be a power of two", nsets))
+	}
+	tb := &TagBuffer{sets: make([][]tbEntry, nsets), mask: uint64(nsets - 1)}
+	for i := range tb.sets {
+		tb.sets[i] = make([]tbEntry, ways)
+	}
+	return tb
+}
+
+// Capacity returns the total number of slots.
+func (tb *TagBuffer) Capacity() int { return len(tb.sets) * len(tb.sets[0]) }
+
+// RemapFill returns the fraction of slots holding un-flushed remaps —
+// the quantity compared against the flush threshold (70% in Table 3).
+func (tb *TagBuffer) RemapFill() float64 {
+	return float64(tb.remapCount) / float64(tb.Capacity())
+}
+
+// Lookup returns the buffered mapping for page, if present. A hit
+// overrides whatever mapping the request carried from the TLB (§3.2).
+func (tb *TagBuffer) Lookup(page uint64) (mem.Mapping, bool) {
+	tb.tick++
+	set := tb.sets[page&tb.mask]
+	for i := range set {
+		if set[i].valid && set[i].page == page {
+			set[i].stamp = tb.tick
+			tb.hits++
+			return mem.Mapping{Known: true, Cached: set[i].cached, Way: set[i].way}, true
+		}
+	}
+	tb.misses++
+	return mem.Mapping{}, false
+}
+
+// InsertRemap records a just-remapped page's new mapping. It returns
+// false if the set has no insertable slot (every way pinned by remap) —
+// the caller must flush and retry. The paper's flush-at-70% policy makes
+// this rare but the case must be handled for correctness.
+func (tb *TagBuffer) InsertRemap(page uint64, cached bool, way uint8) bool {
+	return tb.insert(page, cached, way, true)
+}
+
+// InsertClean caches a PTE-consistent mapping (remap unset) to spare
+// future dirty-eviction tag probes (§3.3). Clean entries are evictable;
+// insertion failure is acceptable and ignored by callers.
+func (tb *TagBuffer) InsertClean(page uint64, cached bool, way uint8) bool {
+	return tb.insert(page, cached, way, false)
+}
+
+func (tb *TagBuffer) insert(page uint64, cached bool, way uint8, remap bool) bool {
+	tb.tick++
+	set := tb.sets[page&tb.mask]
+	// Update in place if present.
+	for i := range set {
+		if set[i].valid && set[i].page == page {
+			if remap && !set[i].remap {
+				tb.remapCount++
+			}
+			set[i].cached = cached
+			set[i].way = way
+			set[i].remap = set[i].remap || remap
+			set[i].stamp = tb.tick
+			return true
+		}
+	}
+	// Choose a victim: an invalid slot, else the LRU among remap-unset
+	// slots (the remap bits mask the LRU algorithm, §3.3).
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		for i := range set {
+			if set[i].remap {
+				continue
+			}
+			if victim < 0 || set[i].stamp < set[victim].stamp {
+				victim = i
+			}
+		}
+	}
+	if victim < 0 {
+		return false // all ways pinned by remaps: caller must flush
+	}
+	if remap {
+		tb.remapCount++
+	}
+	set[victim] = tbEntry{page: page, valid: true, remap: remap, cached: cached, way: way, stamp: tb.tick}
+	return true
+}
+
+// Remapped returns every entry whose remap bit is set; the software
+// flush routine applies these to the page table.
+type Remapped struct {
+	Page   uint64
+	Cached bool
+	Way    uint8
+}
+
+// DrainRemaps returns all remapped entries and clears their remap bits.
+// Entries stay valid (and evictable) to keep serving dirty-eviction
+// lookups (§3.4).
+func (tb *TagBuffer) DrainRemaps() []Remapped {
+	var out []Remapped
+	for s := range tb.sets {
+		set := tb.sets[s]
+		for i := range set {
+			if set[i].valid && set[i].remap {
+				out = append(out, Remapped{Page: set[i].page, Cached: set[i].cached, Way: set[i].way})
+				set[i].remap = false
+			}
+		}
+	}
+	tb.remapCount = 0
+	return out
+}
+
+// Stats returns hit/miss counters (diagnostic).
+func (tb *TagBuffer) Stats() (hits, misses uint64) { return tb.hits, tb.misses }

@@ -1,0 +1,193 @@
+package banshee
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTagBufferGeometry(t *testing.T) {
+	tb := NewTagBuffer(1024, 8)
+	if tb.Capacity() != 1024 {
+		t.Fatalf("capacity %d", tb.Capacity())
+	}
+	for _, bad := range [][2]int{{0, 8}, {1024, 0}, {1000, 8}, {96, 8}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("geometry %v did not panic", bad)
+				}
+			}()
+			NewTagBuffer(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	tb := NewTagBuffer(64, 8)
+	if _, hit := tb.Lookup(42); hit {
+		t.Fatal("empty buffer hit")
+	}
+	tb.InsertRemap(42, true, 3)
+	m, hit := tb.Lookup(42)
+	if !hit || !m.Known || !m.Cached || m.Way != 3 {
+		t.Fatalf("lookup after insert = %+v hit=%v", m, hit)
+	}
+}
+
+func TestRemapFillTracking(t *testing.T) {
+	tb := NewTagBuffer(64, 8)
+	if tb.RemapFill() != 0 {
+		t.Fatal("fresh buffer not empty")
+	}
+	for i := uint64(0); i < 32; i++ {
+		tb.InsertRemap(i, true, 0)
+	}
+	if got := tb.RemapFill(); got != 0.5 {
+		t.Fatalf("remap fill %v, want 0.5", got)
+	}
+	// Clean inserts must not count toward the flush threshold.
+	tb.InsertClean(1000, false, 0)
+	if got := tb.RemapFill(); got != 0.5 {
+		t.Fatalf("clean insert changed remap fill to %v", got)
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	tb := NewTagBuffer(64, 8)
+	tb.InsertRemap(7, true, 1)
+	tb.InsertRemap(7, false, 0) // page evicted again
+	m, hit := tb.Lookup(7)
+	if !hit || m.Cached {
+		t.Fatal("in-place update lost")
+	}
+	if tb.RemapFill() != 1.0/64 {
+		t.Fatalf("duplicate insert double-counted: fill %v", tb.RemapFill())
+	}
+}
+
+func TestCleanUpgradeToRemap(t *testing.T) {
+	tb := NewTagBuffer(64, 8)
+	tb.InsertClean(9, true, 2)
+	if tb.RemapFill() != 0 {
+		t.Fatal("clean entry counted as remap")
+	}
+	tb.InsertRemap(9, false, 0)
+	if tb.RemapFill() != 1.0/64 {
+		t.Fatal("upgrade to remap not counted")
+	}
+}
+
+func TestRemapEntriesPinned(t *testing.T) {
+	// A set full of remap entries must reject new inserts rather than
+	// evict un-flushed mappings (correctness: those mappings exist
+	// nowhere else).
+	tb := NewTagBuffer(16, 2)                      // 8 sets, 2 ways
+	set0 := func(i uint64) uint64 { return i * 8 } // all map to set 0
+	if !tb.InsertRemap(set0(1), true, 0) || !tb.InsertRemap(set0(2), true, 1) {
+		t.Fatal("initial inserts failed")
+	}
+	if tb.InsertRemap(set0(3), true, 2) {
+		t.Fatal("insert into remap-pinned set succeeded")
+	}
+	// Clean entries are evictable: after draining, inserts work again.
+	tb.DrainRemaps()
+	if !tb.InsertRemap(set0(3), true, 2) {
+		t.Fatal("insert after drain failed")
+	}
+}
+
+func TestCleanEntriesEvictableLRU(t *testing.T) {
+	tb := NewTagBuffer(16, 2) // 8 sets, 2 ways
+	set0 := func(i uint64) uint64 { return i * 8 }
+	tb.InsertClean(set0(1), true, 0)
+	tb.InsertClean(set0(2), true, 1)
+	tb.Lookup(set0(1)) // refresh 1
+	tb.InsertClean(set0(3), false, 0)
+	if _, hit := tb.Lookup(set0(2)); hit {
+		t.Fatal("LRU clean entry survived")
+	}
+	if _, hit := tb.Lookup(set0(1)); !hit {
+		t.Fatal("MRU clean entry evicted")
+	}
+}
+
+func TestDrainRemaps(t *testing.T) {
+	tb := NewTagBuffer(64, 8)
+	tb.InsertRemap(1, true, 0)
+	tb.InsertRemap(2, false, 0)
+	tb.InsertClean(3, true, 1)
+	rs := tb.DrainRemaps()
+	if len(rs) != 2 {
+		t.Fatalf("drained %d entries, want 2", len(rs))
+	}
+	if tb.RemapFill() != 0 {
+		t.Fatal("remap count not cleared")
+	}
+	// Entries stay valid for lookups (they keep absorbing dirty-eviction
+	// probes, §3.4).
+	if _, hit := tb.Lookup(1); !hit {
+		t.Fatal("drained entry no longer valid")
+	}
+	// Second drain is empty.
+	if len(tb.DrainRemaps()) != 0 {
+		t.Fatal("double drain returned entries")
+	}
+}
+
+func TestBufferMappingConsistencyProperty(t *testing.T) {
+	// Property: after any sequence of inserts, looking up a page
+	// returns the most recent mapping inserted for it (remap entries
+	// are never silently lost).
+	f := func(ops []struct {
+		Page   uint8
+		Cached bool
+		Way    uint8
+	}) bool {
+		tb := NewTagBuffer(64, 8)
+		last := map[uint64]struct {
+			cached bool
+			way    uint8
+		}{}
+		for _, op := range ops {
+			p := uint64(op.Page)
+			if !tb.InsertRemap(p, op.Cached, op.Way%4) {
+				tb.DrainRemaps()
+				// Drained entries become evictable (their mappings now
+				// live in the PTEs), so the guarantee below only covers
+				// remaps inserted after the drain.
+				last = map[uint64]struct {
+					cached bool
+					way    uint8
+				}{}
+				if !tb.InsertRemap(p, op.Cached, op.Way%4) {
+					return false
+				}
+			}
+			last[p] = struct {
+				cached bool
+				way    uint8
+			}{op.Cached, op.Way % 4}
+		}
+		for p, want := range last {
+			m, hit := tb.Lookup(p)
+			if !hit || m.Cached != want.cached || m.Way != want.way {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	tb := NewTagBuffer(64, 8)
+	tb.Lookup(5)
+	tb.InsertRemap(5, true, 0)
+	tb.Lookup(5)
+	h, m := tb.Stats()
+	if h != 1 || m != 1 {
+		t.Fatalf("hits/misses %d/%d", h, m)
+	}
+}

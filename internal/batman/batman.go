@@ -1,0 +1,117 @@
+// Package batman implements the bandwidth-balancing extension evaluated
+// in §5.4.2, after BATMAN [Chou et al., 2015]: when the in-package DRAM
+// carries more than a target share (80%) of total DRAM traffic, some
+// read hits are deliberately served from off-package DRAM instead, so
+// both memories' bandwidth is put to work. The mechanism wraps any
+// mc.Scheme; it adapts a redirect probability from the observed traffic
+// ratio over a sliding window.
+//
+// Redirection applies only to clean read hits. The paper's Banshee is
+// inclusive — off-package memory always holds a (possibly stale only if
+// dirty) copy — so redirecting clean reads is safe; writes and dirty
+// data keep going to the cache.
+package batman
+
+import (
+	"banshee/internal/mc"
+	"banshee/internal/mem"
+	"banshee/internal/stats"
+	"banshee/internal/util"
+)
+
+// Config tunes the balancer.
+type Config struct {
+	// TargetRatio is the in-package traffic share above which redirection
+	// ramps up (0 → 0.8, the paper's setting).
+	TargetRatio float64
+	// WindowBytes is the traffic window between adaptation steps.
+	WindowBytes uint64
+	// MaxRedirect caps the redirect probability.
+	MaxRedirect float64
+	Seed        uint64
+}
+
+// Balancer wraps a scheme with BATMAN-style access steering.
+type Balancer struct {
+	inner  mc.Scheme
+	cfg    Config
+	rng    *util.RNG
+	inB    uint64
+	offB   uint64
+	prob   float64
+	redirs uint64
+}
+
+// New wraps inner with a balancer.
+func New(inner mc.Scheme, cfg Config) *Balancer {
+	if cfg.TargetRatio <= 0 || cfg.TargetRatio >= 1 {
+		cfg.TargetRatio = 0.8
+	}
+	if cfg.WindowBytes == 0 {
+		cfg.WindowBytes = 4 << 20
+	}
+	if cfg.MaxRedirect <= 0 || cfg.MaxRedirect > 1 {
+		cfg.MaxRedirect = 0.5
+	}
+	return &Balancer{inner: inner, cfg: cfg, rng: util.NewRNG(cfg.Seed ^ 0xBA7)}
+}
+
+// Name implements mc.Scheme.
+func (b *Balancer) Name() string { return b.inner.Name() + "+BATMAN" }
+
+// Access implements mc.Scheme.
+func (b *Balancer) Access(req mem.Request) mc.Result {
+	res := b.inner.Access(req)
+	// Steering: flip a clean read hit's critical data fetch off-package.
+	if res.Hit && !req.Eviction && !req.Write && b.prob > 0 && b.rng.Bool(b.prob) {
+		for i := range res.Ops {
+			op := &res.Ops[i]
+			if op.Target == mem.InPackage && op.Critical && op.Class == mem.ClassHitData && !op.Write {
+				op.Target = mem.OffPackage
+				b.redirs++
+				break
+			}
+		}
+	}
+	for _, op := range res.Ops {
+		if op.Target == mem.InPackage {
+			b.inB += uint64(op.Bytes)
+		} else {
+			b.offB += uint64(op.Bytes)
+		}
+	}
+	if b.inB+b.offB >= b.cfg.WindowBytes {
+		b.adapt()
+	}
+	return res
+}
+
+func (b *Balancer) adapt() {
+	total := b.inB + b.offB
+	if total == 0 {
+		return
+	}
+	ratio := float64(b.inB) / float64(total)
+	const step = 0.05
+	if ratio > b.cfg.TargetRatio {
+		b.prob += step
+	} else {
+		b.prob -= step
+	}
+	if b.prob < 0 {
+		b.prob = 0
+	}
+	if b.prob > b.cfg.MaxRedirect {
+		b.prob = b.cfg.MaxRedirect
+	}
+	b.inB, b.offB = 0, 0
+}
+
+// FillStats implements mc.Scheme.
+func (b *Balancer) FillStats(s *stats.Sim) { b.inner.FillStats(s) }
+
+// RedirectProb returns the current steering probability (tests).
+func (b *Balancer) RedirectProb() float64 { return b.prob }
+
+// Redirected returns how many hits were steered off-package (tests).
+func (b *Balancer) Redirected() uint64 { return b.redirs }

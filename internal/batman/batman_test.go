@@ -1,0 +1,123 @@
+package batman
+
+import (
+	"testing"
+
+	"banshee/internal/mc"
+	"banshee/internal/mem"
+	"banshee/internal/stats"
+)
+
+// hitScheme always hits in-package (CacheOnly-like), generating the
+// lopsided traffic BATMAN is meant to balance.
+type hitScheme struct{ evictions uint64 }
+
+func (*hitScheme) Name() string { return "hit" }
+func (h *hitScheme) Access(req mem.Request) mc.Result {
+	return mc.Result{Hit: true, Ops: []mem.Op{{
+		Target: mem.InPackage, Addr: req.Addr, Bytes: 64,
+		Class: mem.ClassHitData, Critical: true,
+	}}}
+}
+func (*hitScheme) FillStats(*stats.Sim) {}
+
+func TestNameSuffix(t *testing.T) {
+	b := New(&hitScheme{}, Config{Seed: 1})
+	if b.Name() != "hit+BATMAN" {
+		t.Fatalf("name %q", b.Name())
+	}
+}
+
+func TestRedirectionRampsUpUnderImbalance(t *testing.T) {
+	b := New(&hitScheme{}, Config{Seed: 1, WindowBytes: 1 << 16})
+	for i := 0; i < 50000; i++ {
+		b.Access(mem.Request{Addr: mem.Addr(i * 64)})
+	}
+	if b.RedirectProb() == 0 {
+		t.Fatal("redirect probability never rose despite 100% in-package traffic")
+	}
+	if b.Redirected() == 0 {
+		t.Fatal("no accesses were steered off-package")
+	}
+}
+
+func TestRedirectedOpsTargetOffPackage(t *testing.T) {
+	b := New(&hitScheme{}, Config{Seed: 1, WindowBytes: 1 << 12})
+	var off int
+	for i := 0; i < 20000; i++ {
+		res := b.Access(mem.Request{Addr: mem.Addr(i * 64)})
+		for _, op := range res.Ops {
+			if op.Target == mem.OffPackage {
+				off += op.Bytes
+				if op.Write {
+					t.Fatal("redirected a write")
+				}
+			}
+		}
+	}
+	if off == 0 {
+		t.Fatal("no off-package bytes after redirection")
+	}
+}
+
+func TestNoRedirectionWhenBalanced(t *testing.T) {
+	// A scheme already balanced below the target ratio: probability
+	// stays at zero.
+	balanced := &balancedScheme{}
+	b := New(balanced, Config{Seed: 2, WindowBytes: 1 << 14})
+	for i := 0; i < 20000; i++ {
+		b.Access(mem.Request{Addr: mem.Addr(i * 64)})
+	}
+	if b.RedirectProb() != 0 {
+		t.Fatalf("redirect probability %v on balanced traffic", b.RedirectProb())
+	}
+}
+
+type balancedScheme struct{ flip bool }
+
+func (*balancedScheme) Name() string { return "balanced" }
+func (s *balancedScheme) Access(req mem.Request) mc.Result {
+	s.flip = !s.flip
+	target := mem.InPackage
+	if s.flip {
+		target = mem.OffPackage
+	}
+	return mc.Result{Hit: !s.flip, Ops: []mem.Op{{
+		Target: target, Addr: req.Addr, Bytes: 64,
+		Class: mem.ClassHitData, Critical: true,
+	}}}
+}
+func (*balancedScheme) FillStats(*stats.Sim) {}
+
+func TestEvictionsNeverRedirected(t *testing.T) {
+	b := New(&hitScheme{}, Config{Seed: 3, WindowBytes: 1 << 12})
+	// Ramp up the probability first.
+	for i := 0; i < 20000; i++ {
+		b.Access(mem.Request{Addr: mem.Addr(i * 64)})
+	}
+	for i := 0; i < 5000; i++ {
+		res := b.Access(mem.Request{Addr: mem.Addr(i * 64), Write: true, Eviction: true})
+		for _, op := range res.Ops {
+			if op.Target == mem.OffPackage {
+				t.Fatal("eviction redirected off-package")
+			}
+		}
+	}
+}
+
+func TestProbabilityCapped(t *testing.T) {
+	b := New(&hitScheme{}, Config{Seed: 4, WindowBytes: 1 << 10, MaxRedirect: 0.3})
+	for i := 0; i < 100000; i++ {
+		b.Access(mem.Request{Addr: mem.Addr(i * 64)})
+	}
+	if p := b.RedirectProb(); p > 0.3 {
+		t.Fatalf("probability %v exceeds cap", p)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	b := New(&hitScheme{}, Config{})
+	if b.cfg.TargetRatio != 0.8 || b.cfg.WindowBytes == 0 || b.cfg.MaxRedirect != 0.5 {
+		t.Fatalf("defaults not applied: %+v", b.cfg)
+	}
+}

@@ -1,0 +1,312 @@
+// Package cache implements the set-associative SRAM caches of the
+// simulated chip (L1I/L1D, L2, shared L3), managed at 64 B line
+// granularity with write-back/write-allocate semantics. The same type
+// also backs small hardware tables elsewhere in the simulator (e.g. TLBs
+// and Banshee's tag buffer embed the replacement machinery via their own
+// structures, but the L-level caches all use Cache directly).
+//
+// Beyond plain lookup the package supports the operations DRAM-cache
+// schemes need from the on-chip hierarchy: flushing all lines of a
+// physical page (HMA's address-consistency scrub, large-page
+// reconfiguration) and tagging lines with metadata bits (the per-line
+// page-size bit of §4.3 used to route LLC dirty evictions).
+package cache
+
+import (
+	"fmt"
+
+	"banshee/internal/mem"
+	"banshee/internal/util"
+)
+
+// Policy selects the victim-choice algorithm.
+type Policy uint8
+
+const (
+	LRU Policy = iota
+	FIFO
+	Random
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case Random:
+		return "Random"
+	}
+	return fmt.Sprintf("Policy(%d)", uint8(p))
+}
+
+// Config sizes a cache.
+type Config struct {
+	Name      string
+	SizeBytes int
+	Ways      int
+	LineBytes int
+	Policy    Policy
+	Seed      uint64 // for Random policy
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.SizeBytes <= 0:
+		return fmt.Errorf("cache %q: size must be positive, got %d", c.Name, c.SizeBytes)
+	case c.Ways <= 0:
+		return fmt.Errorf("cache %q: ways must be positive, got %d", c.Name, c.Ways)
+	case c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache %q: line bytes must be a positive power of two, got %d", c.Name, c.LineBytes)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if lines%c.Ways != 0 {
+		return fmt.Errorf("cache %q: %d lines not divisible by %d ways", c.Name, lines, c.Ways)
+	}
+	sets := lines / c.Ways
+	if sets == 0 || sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %q: set count %d must be a positive power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// Eviction describes a line displaced by a fill.
+type Eviction struct {
+	Addr  mem.Addr
+	Dirty bool
+	Meta  uint8
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	meta  uint8
+	stamp uint64 // LRU: last-touch tick; FIFO: insertion tick
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses   uint64
+	Misses     uint64
+	Evictions  uint64 // dirty evictions (write-backs)
+	Fills      uint64
+	Flushes    uint64 // lines removed by explicit flush operations
+	WriteHits  uint64
+	WriteMiss  uint64
+	Invalidate uint64
+}
+
+// Cache is a single set-associative cache. Not safe for concurrent use.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setMask  uint64
+	lineBits uint
+	tick     uint64
+	rng      *util.RNG
+	stats    Stats
+}
+
+// New builds a cache; it panics on invalid configuration (a setup bug).
+func New(cfg Config) *Cache {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	nsets := cfg.SizeBytes / cfg.LineBytes / cfg.Ways
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([][]line, nsets),
+		setMask: uint64(nsets - 1),
+		rng:     util.NewRNG(cfg.Seed ^ 0xCAC4E),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	for b := cfg.LineBytes; b > 1; b >>= 1 {
+		c.lineBits++
+	}
+	return c
+}
+
+// Config returns the construction configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Sets returns the number of sets (diagnostic).
+func (c *Cache) Sets() int { return len(c.sets) }
+
+func (c *Cache) index(a mem.Addr) (set uint64, tag uint64) {
+	l := uint64(a) >> c.lineBits
+	return l & c.setMask, l >> uint(popcount(c.setMask))
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func (c *Cache) addrOf(set uint64, tag uint64) mem.Addr {
+	return mem.Addr((tag<<uint(popcount(c.setMask)) | set) << c.lineBits)
+}
+
+// Lookup reports whether a's line is present without changing any state.
+func (c *Cache) Lookup(a mem.Addr) bool {
+	set, tag := c.index(a)
+	for i := range c.sets[set] {
+		if c.sets[set][i].valid && c.sets[set][i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs a demand read or write with allocate-on-miss. It
+// returns whether the access hit, and (on a miss that displaced a dirty
+// line) the eviction the caller must write back. meta is stored on the
+// line on fill and on write (carrying e.g. the page-size bit downstream).
+func (c *Cache) Access(a mem.Addr, write bool, meta uint8) (hit bool, ev *Eviction) {
+	c.stats.Accesses++
+	c.tick++
+	set, tag := c.index(a)
+	s := c.sets[set]
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			if c.cfg.Policy == LRU {
+				s[i].stamp = c.tick
+			}
+			if write {
+				s[i].dirty = true
+				s[i].meta = meta
+				c.stats.WriteHits++
+			}
+			return true, nil
+		}
+	}
+	c.stats.Misses++
+	if write {
+		c.stats.WriteMiss++
+	}
+	ev = c.fill(set, tag, write, meta)
+	return false, ev
+}
+
+// Fill inserts a's line without counting a demand access (used when an
+// outer level pushes data in, e.g. prefetch-like flows in tests).
+func (c *Cache) Fill(a mem.Addr, dirty bool, meta uint8) *Eviction {
+	c.tick++
+	set, tag := c.index(a)
+	s := c.sets[set]
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			if dirty {
+				s[i].dirty = true
+			}
+			s[i].meta = meta
+			return nil
+		}
+	}
+	return c.fill(set, tag, dirty, meta)
+}
+
+func (c *Cache) fill(set uint64, tag uint64, dirty bool, meta uint8) *Eviction {
+	s := c.sets[set]
+	victim := 0
+	switch c.cfg.Policy {
+	case Random:
+		// Prefer an invalid way; otherwise pick at random.
+		victim = -1
+		for i := range s {
+			if !s[i].valid {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			victim = c.rng.Intn(len(s))
+		}
+	default: // LRU and FIFO both evict the smallest stamp
+		for i := 1; i < len(s); i++ {
+			if !s[i].valid {
+				victim = i
+				break
+			}
+			if s[victim].valid && s[i].stamp < s[victim].stamp {
+				victim = i
+			}
+		}
+		if !s[0].valid {
+			victim = 0
+		}
+	}
+	var ev *Eviction
+	if s[victim].valid && s[victim].dirty {
+		c.stats.Evictions++
+		ev = &Eviction{Addr: c.addrOf(set, s[victim].tag), Dirty: true, Meta: s[victim].meta}
+	}
+	s[victim] = line{tag: tag, valid: true, dirty: dirty, meta: meta, stamp: c.tick}
+	c.stats.Fills++
+	return ev
+}
+
+// Invalidate drops a's line if present, returning a write-back if it was
+// dirty.
+func (c *Cache) Invalidate(a mem.Addr) *Eviction {
+	set, tag := c.index(a)
+	s := c.sets[set]
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			c.stats.Invalidate++
+			var ev *Eviction
+			if s[i].dirty {
+				ev = &Eviction{Addr: c.addrOf(set, s[i].tag), Dirty: true, Meta: s[i].meta}
+			}
+			s[i] = line{}
+			return ev
+		}
+	}
+	return nil
+}
+
+// FlushPage removes every line belonging to the 4 KB page containing a,
+// returning dirty lines that must be written back. This is the cache
+// scrub HMA-style remapping requires for address consistency, and the
+// flush Banshee needs on large-page reconfiguration.
+func (c *Cache) FlushPage(a mem.Addr) []Eviction {
+	var evs []Eviction
+	base := mem.PageAddr(a)
+	for off := 0; off < mem.PageBytes; off += c.cfg.LineBytes {
+		la := base + mem.Addr(off)
+		set, tag := c.index(la)
+		s := c.sets[set]
+		for i := range s {
+			if s[i].valid && s[i].tag == tag {
+				c.stats.Flushes++
+				if s[i].dirty {
+					evs = append(evs, Eviction{Addr: la, Dirty: true, Meta: s[i].meta})
+				}
+				s[i] = line{}
+			}
+		}
+	}
+	return evs
+}
+
+// Occupancy returns the number of valid lines (diagnostic, tests).
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, s := range c.sets {
+		for i := range s {
+			if s[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,246 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"banshee/internal/mem"
+)
+
+func small(policy Policy) Config {
+	return Config{
+		Name: "t", SizeBytes: 4096, Ways: 4, LineBytes: 64, Policy: policy,
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, Ways: 4, LineBytes: 64},
+		{SizeBytes: 4096, Ways: 0, LineBytes: 64},
+		{SizeBytes: 4096, Ways: 4, LineBytes: 48},       // not power of two
+		{SizeBytes: 4096 + 64, Ways: 4, LineBytes: 64},  // lines % ways != 0
+		{SizeBytes: 3 * 64 * 4, Ways: 4, LineBytes: 64}, // 3 sets: not pow2
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: New did not panic", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := New(small(LRU))
+	hit, _ := c.Access(0x1000, false, 0)
+	if hit {
+		t.Fatal("cold access hit")
+	}
+	hit, _ = c.Access(0x1000, false, 0)
+	if !hit {
+		t.Fatal("second access missed")
+	}
+	if !c.Lookup(0x1000) {
+		t.Fatal("Lookup false after fill")
+	}
+}
+
+func TestSameLineDifferentOffsets(t *testing.T) {
+	c := New(small(LRU))
+	c.Access(0x1000, false, 0)
+	if hit, _ := c.Access(0x1020, false, 0); !hit {
+		t.Fatal("offset within same line missed")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(small(LRU)) // 16 sets, 4 ways
+	sets := uint64(c.Sets())
+	// Fill one set with 4 distinct tags, touch the first again, then
+	// insert a 5th: the victim must be the 2nd (LRU), not the 1st.
+	base := mem.Addr(0)
+	stride := mem.Addr(sets * 64)
+	for i := 0; i < 4; i++ {
+		c.Access(base+mem.Addr(i)*stride, false, 0)
+	}
+	c.Access(base, false, 0)          // refresh tag 0
+	c.Access(base+4*stride, false, 0) // evicts tag 1
+	if hit, _ := c.Access(base, false, 0); !hit {
+		t.Fatal("MRU line was evicted")
+	}
+	if hit, _ := c.Access(base+1*stride, false, 0); hit {
+		t.Fatal("LRU line survived")
+	}
+}
+
+func TestFIFOEviction(t *testing.T) {
+	c := New(small(FIFO))
+	sets := uint64(c.Sets())
+	stride := mem.Addr(sets * 64)
+	for i := 0; i < 4; i++ {
+		c.Access(mem.Addr(i)*stride, false, 0)
+	}
+	// Touching tag 0 must NOT refresh it under FIFO.
+	c.Access(0, false, 0)
+	c.Access(4*stride, false, 0) // evicts tag 0 (oldest insertion)
+	if hit, _ := c.Access(0, false, 0); hit {
+		t.Fatal("FIFO did not evict oldest insertion")
+	}
+}
+
+func TestDirtyEvictionReported(t *testing.T) {
+	c := New(small(LRU))
+	sets := uint64(c.Sets())
+	stride := mem.Addr(sets * 64)
+	c.Access(0, true, 7) // dirty with meta 7
+	for i := 1; i <= 4; i++ {
+		_, ev := c.Access(mem.Addr(i)*stride, false, 0)
+		if i < 4 {
+			if ev != nil {
+				t.Fatalf("unexpected eviction at fill %d", i)
+			}
+			continue
+		}
+		if ev == nil {
+			t.Fatal("dirty eviction not reported")
+		}
+		if ev.Addr != 0 || !ev.Dirty || ev.Meta != 7 {
+			t.Fatalf("eviction = %+v", ev)
+		}
+	}
+}
+
+func TestCleanEvictionSilent(t *testing.T) {
+	c := New(small(LRU))
+	sets := uint64(c.Sets())
+	stride := mem.Addr(sets * 64)
+	for i := 0; i <= 4; i++ {
+		if _, ev := c.Access(mem.Addr(i)*stride, false, 0); ev != nil {
+			t.Fatal("clean eviction produced a write-back")
+		}
+	}
+}
+
+func TestWriteMarksDirty(t *testing.T) {
+	c := New(small(LRU))
+	c.Access(0x40, false, 0)
+	c.Access(0x40, true, 0) // write hit dirties the line
+	ev := c.Invalidate(0x40)
+	if ev == nil || !ev.Dirty {
+		t.Fatal("write hit did not dirty the line")
+	}
+}
+
+func TestFill(t *testing.T) {
+	c := New(small(LRU))
+	if ev := c.Fill(0x80, true, 3); ev != nil {
+		t.Fatal("fill into empty cache evicted")
+	}
+	if !c.Lookup(0x80) {
+		t.Fatal("fill did not insert")
+	}
+	// Fill of a present line only upgrades dirtiness.
+	c.Fill(0x80, false, 3)
+	ev := c.Invalidate(0x80)
+	if ev == nil || !ev.Dirty {
+		t.Fatal("fill cleared dirty bit")
+	}
+	if c.Stats().Accesses != 0 {
+		t.Fatal("Fill counted as demand access")
+	}
+}
+
+func TestInvalidateMissing(t *testing.T) {
+	c := New(small(LRU))
+	if ev := c.Invalidate(0xdead000); ev != nil {
+		t.Fatal("invalidate of absent line returned eviction")
+	}
+}
+
+func TestFlushPage(t *testing.T) {
+	cfg := Config{Name: "big", SizeBytes: 1 << 20, Ways: 8, LineBytes: 64, Policy: LRU}
+	c := New(cfg)
+	// Touch every line of one page, some dirty.
+	page := mem.Addr(0x7000000)
+	for i := 0; i < mem.LinesPerPage; i++ {
+		c.Access(page+mem.Addr(i*64), i%2 == 0, 0)
+	}
+	evs := c.FlushPage(page + 128) // any address within the page
+	if len(evs) != mem.LinesPerPage/2 {
+		t.Fatalf("flushed %d dirty lines, want %d", len(evs), mem.LinesPerPage/2)
+	}
+	for i := 0; i < mem.LinesPerPage; i++ {
+		if c.Lookup(page + mem.Addr(i*64)) {
+			t.Fatal("line survived page flush")
+		}
+	}
+}
+
+func TestOccupancyBounded(t *testing.T) {
+	c := New(small(Random))
+	for i := 0; i < 10000; i++ {
+		c.Access(mem.Addr(i)*64, false, 0)
+	}
+	max := 4096 / 64
+	if got := c.Occupancy(); got != max {
+		t.Fatalf("occupancy %d, want full %d", got, max)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	c := New(small(LRU))
+	c.Access(0, false, 0)
+	c.Access(0, false, 0)
+	c.Access(0, true, 0)
+	st := c.Stats()
+	if st.Accesses != 3 || st.Misses != 1 || st.Fills != 1 || st.WriteHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAddrRoundTripProperty(t *testing.T) {
+	// Property: after accessing any address, the cache holds exactly
+	// that line (Lookup true for every offset in the line).
+	f := func(raw uint64) bool {
+		c := New(small(LRU))
+		a := mem.Addr(raw % (1 << 40))
+		c.Access(a, false, 0)
+		return c.Lookup(a) && c.Lookup(mem.LineAddr(a)) && c.Lookup(mem.LineAddr(a)+63)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictionAddressInSameSetProperty(t *testing.T) {
+	// Property: a reported eviction's address maps to the same set as
+	// the access that displaced it.
+	f := func(raw uint64, n uint8) bool {
+		c := New(small(LRU))
+		base := mem.Addr(raw % (1 << 40))
+		sets := uint64(c.Sets())
+		stride := mem.Addr(sets * 64)
+		for i := 0; i < int(n%8)+5; i++ {
+			_, ev := c.Access(base+mem.Addr(i)*stride, true, 0)
+			if ev != nil {
+				setOf := func(a mem.Addr) uint64 { return (uint64(a) >> 6) & (sets - 1) }
+				if setOf(ev.Addr) != setOf(base) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if LRU.String() != "LRU" || FIFO.String() != "FIFO" || Random.String() != "Random" {
+		t.Fatal("policy names wrong")
+	}
+}

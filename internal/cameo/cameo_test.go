@@ -1,0 +1,122 @@
+package cameo
+
+import (
+	"testing"
+
+	"banshee/internal/mem"
+)
+
+func newTest() *CAMEO {
+	return New(Config{CapacityBytes: 1 << 20}) // 16384 slots
+}
+
+func bytesTo(ops []mem.Op, target mem.Kind) int {
+	n := 0
+	for _, op := range ops {
+		if op.Target == target {
+			n += op.Bytes
+		}
+	}
+	return n
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad capacity did not panic")
+		}
+	}()
+	New(Config{CapacityBytes: 3 * 64})
+}
+
+func TestSwapInOnMiss(t *testing.T) {
+	c := newTest()
+	res := c.Access(mem.Request{Addr: 0x4000})
+	if res.Hit {
+		t.Fatal("cold access hit")
+	}
+	if !c.Resident(mem.LineNum(0x4000)) {
+		t.Fatal("line not swapped in after miss")
+	}
+	// Second access hits with data + LLT read.
+	res = c.Access(mem.Request{Addr: 0x4000})
+	if !res.Hit {
+		t.Fatal("expected hit after swap")
+	}
+	if got := bytesTo(res.Ops, mem.InPackage); got != 96 {
+		t.Fatalf("hit bytes %d, want 96 (data + LLT)", got)
+	}
+}
+
+func TestSwapEvictsOccupant(t *testing.T) {
+	c := newTest()
+	groupStride := mem.Addr((c.mask + 1) * 64)
+	c.Access(mem.Request{Addr: 0})                  // line A resident
+	res := c.Access(mem.Request{Addr: groupStride}) // same group: swap
+	if res.Hit {
+		t.Fatal("conflicting group member hit")
+	}
+	// Swap traffic: occupant out (in read + off write) + new in + LLT.
+	var outBytes int
+	for _, op := range res.Ops {
+		if op.Target == mem.OffPackage && op.Write {
+			outBytes += op.Bytes
+		}
+	}
+	if outBytes != 64 {
+		t.Fatalf("occupant writeback %d bytes, want 64", outBytes)
+	}
+	if !c.Resident(mem.LineNum(groupStride)) || c.Resident(0) {
+		t.Fatal("swap did not exchange occupancy")
+	}
+}
+
+func TestCapacitySemantics(t *testing.T) {
+	// CAMEO is memory, not a cache: exactly one member of each group is
+	// in-package at any time.
+	c := newTest()
+	stride := mem.Addr((c.mask + 1) * 64)
+	for i := 0; i < 8; i++ {
+		c.Access(mem.Request{Addr: mem.Addr(i) * stride})
+	}
+	resident := 0
+	for i := 0; i < 8; i++ {
+		if c.Resident(mem.LineNum(mem.Addr(i) * stride)) {
+			resident++
+		}
+	}
+	if resident != 1 {
+		t.Fatalf("%d group members resident, want exactly 1", resident)
+	}
+}
+
+func TestEvictionRouting(t *testing.T) {
+	c := newTest()
+	c.Access(mem.Request{Addr: 0x2000})
+	res := c.Access(mem.Request{Addr: 0x2000, Write: true, Eviction: true})
+	if !res.Hit || res.Ops[0].Target != mem.InPackage {
+		t.Fatal("eviction to resident line must write in-package")
+	}
+	stride := mem.Addr((c.mask + 1) * 64)
+	res = c.Access(mem.Request{Addr: 0x2000 + stride, Write: true, Eviction: true})
+	if res.Hit || res.Ops[0].Target != mem.OffPackage {
+		t.Fatal("eviction to non-resident line must write off-package")
+	}
+}
+
+func TestMissSerializesLLTThenFetch(t *testing.T) {
+	c := newTest()
+	res := c.Access(mem.Request{Addr: 0x8000})
+	var lltStage, fetchStage uint8 = 255, 255
+	for _, op := range res.Ops {
+		if op.Target == mem.InPackage && op.Class == mem.ClassTag && !op.Write {
+			lltStage = op.Stage
+		}
+		if op.Target == mem.OffPackage && op.Critical {
+			fetchStage = op.Stage
+		}
+	}
+	if lltStage != 0 || fetchStage != 1 {
+		t.Fatalf("LLT stage %d, fetch stage %d; want 0 then 1", lltStage, fetchStage)
+	}
+}

@@ -1,0 +1,132 @@
+// Package exp implements the paper's evaluation section: one runner per
+// table and figure (Fig. 4-9, Tables 1, 5, 6, and the §5.4 extensions).
+// Each runner executes the required simulation matrix, aggregates the
+// same metrics the paper plots, and renders a paper-style table. The
+// runners are shared by cmd/experiments and the benchmark harness in
+// bench_test.go.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"banshee/internal/sim"
+	"banshee/internal/stats"
+	"banshee/internal/trace"
+)
+
+// Options controls an experiment run.
+type Options struct {
+	// Instr is the per-core instruction budget (0 = sim default).
+	Instr uint64
+	// Seed is the base simulation seed.
+	Seed uint64
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+	// Workloads overrides the workload list (nil = the paper's 16).
+	Workloads []string
+	// Intensity multiplies every workload's memory intensity (1 = default).
+	Intensity float64
+}
+
+func (o Options) workloads() []string {
+	if len(o.Workloads) > 0 {
+		return o.Workloads
+	}
+	return trace.Names()
+}
+
+// sweepWorkloads is the representative subset used by the parameter
+// sweeps (Fig. 8/9, Tables 5/6): it spans the behavioral classes of the
+// full suite — skewed graph reuse (pagerank, graph500), streaming (lbm,
+// libquantum), pointer chasing (mcf, omnetpp), and a mixed workload —
+// at a fraction of the simulation cost. EXPERIMENTS.md records this
+// reduction.
+func (o Options) sweepWorkloads() []string {
+	if len(o.Workloads) > 0 {
+		return o.Workloads
+	}
+	return []string{"pagerank", "graph500", "lbm", "mcf", "omnetpp", "libquantum", "soplex", "mix1"}
+}
+
+func (o Options) config() sim.Config {
+	cfg := sim.DefaultConfig()
+	if o.Instr > 0 {
+		cfg.InstrPerCore = o.Instr
+	}
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	} else {
+		cfg.Seed = 42
+	}
+	if o.Intensity > 0 {
+		cfg.Intensity = o.Intensity
+	}
+	return cfg
+}
+
+// job is one simulation in a matrix.
+type job struct {
+	key      string
+	workload string
+	scheme   string
+	mutate   func(*sim.Config)
+}
+
+// runMatrix executes jobs with bounded parallelism and returns results
+// keyed by job key. Errors abort: experiment configs are code, not
+// input, so a failure is a bug worth surfacing immediately.
+func runMatrix(o Options, jobs []job) map[string]stats.Sim {
+	par := o.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(jobs) {
+		par = len(jobs)
+	}
+	results := make(map[string]stats.Sim, len(jobs))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg := o.config()
+			if j.mutate != nil {
+				j.mutate(&cfg)
+			}
+			st, err := sim.Run(cfg, j.workload, j.scheme)
+			if err != nil {
+				panic(fmt.Sprintf("exp: run %s failed: %v", j.key, err))
+			}
+			mu.Lock()
+			results[j.key] = st
+			mu.Unlock()
+			if o.Progress != nil {
+				fmt.Fprintf(o.Progress, "done %-32s cycles=%d\n", j.key, st.Cycles)
+			}
+		}(j)
+	}
+	wg.Wait()
+	return results
+}
+
+func key(workload, scheme string) string { return workload + "/" + scheme }
+
+// crossJobs builds the full workload × scheme matrix.
+func crossJobs(workloads, schemes []string, mutate func(*sim.Config)) []job {
+	var jobs []job
+	for _, w := range workloads {
+		for _, s := range schemes {
+			jobs = append(jobs, job{key: key(w, s), workload: w, scheme: s, mutate: mutate})
+		}
+	}
+	return jobs
+}

@@ -1,0 +1,233 @@
+package exp
+
+import (
+	"fmt"
+
+	"banshee/internal/sim"
+	"banshee/internal/stats"
+)
+
+// Table1 renders the qualitative per-scheme behavior summary of the
+// paper's Table 1. It is analytic (derived from each design's contract)
+// rather than measured; the unit tests verify the schemes' generated
+// traffic against these rows.
+func Table1() *stats.Table {
+	t := stats.NewTable("Table 1: Behavior of DRAM cache designs",
+		"scheme", "hit traffic", "miss traffic", "replacement", "decision", "large pages")
+	t.AddRow("Unison", ">=128B (data+tag r/w)", ">=96B (spec data+tag)", "every miss: 32B tag + footprint", "HW, way-assoc, LRU", "no")
+	t.AddRow("Alloy", "96B (data+tag)", "96B (spec data+tag)", "some misses: 32B tag + 64B fill", "HW, direct-mapped, stochastic", "yes")
+	t.AddRow("TDC", "64B", "64B + TLB coherence", "every miss: footprint", "HW, fully-assoc, FIFO", "no")
+	t.AddRow("HMA", "64B", "0B extra", "SW managed, high cost", "SW, periodic ranking", "yes")
+	t.AddRow("Banshee", "64B", "0B extra", "hot pages only: 32B tag + page", "HW, way-assoc, FBR", "yes")
+	return t
+}
+
+// Table5Result holds the page-table update cost sweep.
+type Table5Result struct {
+	CostsMicros []float64
+	// AvgLoss and MaxLoss are performance losses relative to free
+	// updates, over all workloads.
+	AvgLoss map[float64]float64
+	MaxLoss map[float64]float64
+	// FlushIntervalMs is the measured mean time between tag-buffer
+	// flushes under the default cost (the paper reports ~14 ms).
+	FlushIntervalMs float64
+}
+
+// Table5 reproduces Table 5: Banshee's performance loss as the PTE
+// update routine cost sweeps over {10, 20, 40} µs, against a free-update
+// baseline.
+func Table5(o Options) *Table5Result {
+	costs := []float64{10, 20, 40}
+	workloads := o.sweepWorkloads()
+	var jobs []job
+	// Baseline: near-free updates.
+	for _, w := range workloads {
+		jobs = append(jobs, job{
+			key: "free/" + w, workload: w, scheme: "Banshee",
+			mutate: func(c *sim.Config) { c.Scheme.PTEUpdateMicros = 0.001 },
+		})
+	}
+	for _, us := range costs {
+		cost := us
+		for _, w := range workloads {
+			jobs = append(jobs, job{
+				key: fmt.Sprintf("%g/%s", cost, w), workload: w, scheme: "Banshee",
+				mutate: func(c *sim.Config) { c.Scheme.PTEUpdateMicros = cost },
+			})
+		}
+	}
+	res := runMatrix(o, jobs)
+
+	out := &Table5Result{CostsMicros: costs, AvgLoss: map[float64]float64{}, MaxLoss: map[float64]float64{}}
+	cfg := o.config()
+	var flushIntervals []float64
+	for _, us := range costs {
+		var losses []float64
+		for _, w := range workloads {
+			base := res["free/"+w]
+			st := res[fmt.Sprintf("%g/%s", us, w)]
+			loss := float64(st.Cycles)/float64(base.Cycles) - 1
+			if loss < 0 {
+				loss = 0 // noise floor: costed run happened to be faster
+			}
+			losses = append(losses, loss)
+			if us == 20 && st.TagBufferFlushes > 0 {
+				ms := float64(st.Cycles) / (cfg.CPUMHz * 1000) / float64(st.TagBufferFlushes)
+				flushIntervals = append(flushIntervals, ms)
+			}
+		}
+		out.AvgLoss[us] = stats.Mean(losses)
+		out.MaxLoss[us] = stats.Max(losses)
+	}
+	out.FlushIntervalMs = stats.Mean(flushIntervals)
+	return out
+}
+
+// Table renders Table 5.
+func (r *Table5Result) Table() *stats.Table {
+	t := stats.NewTable("Table 5: Page table update overhead",
+		"update cost (us)", "avg perf loss", "max perf loss")
+	for _, us := range r.CostsMicros {
+		t.AddRow(fmt.Sprintf("%.0f", us),
+			fmt.Sprintf("%.2f%%", 100*r.AvgLoss[us]),
+			fmt.Sprintf("%.2f%%", 100*r.MaxLoss[us]))
+	}
+	return t
+}
+
+// Table6Result holds the associativity sweep.
+type Table6Result struct {
+	Ways     []int
+	MissRate map[int]float64
+}
+
+// Table6 reproduces Table 6: Banshee's DRAM-cache miss rate as
+// associativity sweeps over {1, 2, 4, 8} ways.
+func Table6(o Options) *Table6Result {
+	ways := []int{1, 2, 4, 8}
+	workloads := o.sweepWorkloads()
+	var jobs []job
+	for _, w := range ways {
+		nw := w
+		for _, wl := range workloads {
+			jobs = append(jobs, job{
+				key: fmt.Sprintf("%d/%s", nw, wl), workload: wl, scheme: "Banshee",
+				mutate: func(c *sim.Config) { c.Scheme.BansheeWays = nw },
+			})
+		}
+	}
+	res := runMatrix(o, jobs)
+	out := &Table6Result{Ways: ways, MissRate: map[int]float64{}}
+	for _, w := range ways {
+		var xs []float64
+		for _, wl := range workloads {
+			st := res[fmt.Sprintf("%d/%s", w, wl)]
+			xs = append(xs, st.MissRate())
+		}
+		out.MissRate[w] = stats.Mean(xs)
+	}
+	return out
+}
+
+// Table renders Table 6.
+func (r *Table6Result) Table() *stats.Table {
+	t := stats.NewTable("Table 6: Cache miss rate vs. associativity",
+		"ways", "miss rate")
+	for _, w := range r.Ways {
+		t.AddRow(fmt.Sprintf("%d", w), fmt.Sprintf("%.1f%%", 100*r.MissRate[w]))
+	}
+	return t
+}
+
+// LargePageResult holds the §5.4.1 large-page comparison.
+type LargePageResult struct {
+	Workloads []string
+	// Speedup2M[w] is Banshee-2M speedup over Banshee-4K.
+	Speedup2M map[string]float64
+	GeoMean   float64
+}
+
+// LargePages reproduces §5.4.1: Banshee with all data on 2 MB pages vs
+// regular 4 KB pages, on the graph workloads (perfect TLBs in both, so
+// the difference is purely the DRAM subsystem — as the paper isolates).
+func LargePages(o Options) *LargePageResult {
+	workloads := o.Workloads
+	if len(workloads) == 0 {
+		workloads = []string{"pagerank", "tri_count", "graph500", "sgd", "lsh"}
+	}
+	var jobs []job
+	for _, w := range workloads {
+		jobs = append(jobs, job{key: "4k/" + w, workload: w, scheme: "Banshee"})
+		jobs = append(jobs, job{
+			key: "2m/" + w, workload: w, scheme: "Banshee 2M",
+			mutate: func(c *sim.Config) { c.LargePages = true },
+		})
+	}
+	res := runMatrix(o, jobs)
+	out := &LargePageResult{Workloads: workloads, Speedup2M: map[string]float64{}}
+	var xs []float64
+	for _, w := range workloads {
+		base := res["4k/"+w]
+		st := res["2m/"+w]
+		sp := stats.Speedup(&st, &base)
+		out.Speedup2M[w] = sp
+		xs = append(xs, sp)
+	}
+	out.GeoMean = stats.GeoMean(xs)
+	return out
+}
+
+// Table renders the large-page results.
+func (r *LargePageResult) Table() *stats.Table {
+	t := stats.NewTable("§5.4.1: Large (2 MB) pages vs 4 KB pages (Banshee)",
+		"workload", "speedup 2M/4K")
+	for _, w := range r.Workloads {
+		t.AddRow(w, fmt.Sprintf("%.3f", r.Speedup2M[w]))
+	}
+	t.AddRow("geo-mean", fmt.Sprintf("%.3f", r.GeoMean))
+	return t
+}
+
+// BatmanResult holds the §5.4.2 bandwidth-balancing comparison.
+type BatmanResult struct {
+	// Gain[scheme] is the geomean speedup of scheme+BATMAN over scheme.
+	Gain map[string]float64
+	// BansheeOverAlloy is Banshee+BATMAN vs Alloy+BATMAN (the paper's
+	// "still outperforms by 12.4%").
+	BansheeOverAlloy float64
+}
+
+// Batman reproduces §5.4.2: BATMAN-style bandwidth balancing on top of
+// Alloy and Banshee.
+func Batman(o Options) *BatmanResult {
+	schemes := []string{"Alloy 1", "Banshee", "Alloy 1+BATMAN", "Banshee+BATMAN"}
+	workloads := o.workloads()
+	res := runMatrix(o, crossJobs(workloads, schemes, nil))
+
+	gm := func(num, den string) float64 {
+		var xs []float64
+		for _, w := range workloads {
+			a := res[key(w, num)]
+			b := res[key(w, den)]
+			xs = append(xs, stats.Speedup(&a, &b))
+		}
+		return stats.GeoMean(xs)
+	}
+	return &BatmanResult{
+		Gain: map[string]float64{
+			"Alloy 1": gm("Alloy 1+BATMAN", "Alloy 1") - 1,
+			"Banshee": gm("Banshee+BATMAN", "Banshee") - 1,
+		},
+		BansheeOverAlloy: gm("Banshee+BATMAN", "Alloy 1+BATMAN") - 1,
+	}
+}
+
+// Table renders the BATMAN results.
+func (r *BatmanResult) Table() *stats.Table {
+	t := stats.NewTable("§5.4.2: BATMAN bandwidth balancing", "metric", "value")
+	t.AddRow("Alloy gain from balancing", fmt.Sprintf("%+.1f%%", 100*r.Gain["Alloy 1"]))
+	t.AddRow("Banshee gain from balancing", fmt.Sprintf("%+.1f%%", 100*r.Gain["Banshee"]))
+	t.AddRow("Banshee vs Alloy (both balanced)", fmt.Sprintf("%+.1f%%", 100*r.BansheeOverAlloy))
+	return t
+}

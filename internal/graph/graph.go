@@ -1,0 +1,133 @@
+// Package graph provides a synthetic graph substrate and the
+// graph-analytics kernels of the paper's workload suite (§5.1.2,
+// from [29]): PageRank, triangle counting, BFS (graph500), SGD on a
+// bipartite rating graph, and LSH bucket probing.
+//
+// Unlike the parametric generators in internal/trace (which model a
+// benchmark's *statistics*), these kernels walk real in-memory data
+// structures — a CSR adjacency laid out in a flat address space — and
+// emit the memory reference stream the actual algorithm would produce:
+// sequential index/edge scans interleaved with power-law random vertex
+// accesses. They exist as higher-fidelity alternatives ("<name>_kernel"
+// workloads) to cross-check the parametric calibration; DESIGN.md §5
+// discusses the substitution chain.
+//
+// Graphs are generated deterministically from a seed with a Zipfian
+// degree/popularity skew, the property that makes frequency-based
+// DRAM-cache replacement effective on these workloads.
+package graph
+
+import (
+	"fmt"
+
+	"banshee/internal/util"
+)
+
+// Ref is one memory reference emitted by a kernel. Gap counts the
+// non-memory instructions preceding it (the kernel's compute density).
+type Ref struct {
+	Gap   int
+	Addr  uint64
+	Write bool
+}
+
+// Graph is a CSR adjacency over Vertices vertices, with a flat address
+// layout that kernels walk:
+//
+//	[0, 8V)           vertex values (ranks, labels, visited flags)
+//	[8V, 16V)         second vertex array (next ranks, parents)
+//	[16V, 16V+8(V+1)) row pointers
+//	[...,  +8E)       edge targets
+type Graph struct {
+	Vertices int
+	rowPtr   []uint32 // index into edges, len V+1
+	edges    []uint32 // target vertex ids
+
+	valuesBase  uint64
+	values2Base uint64
+	rowPtrBase  uint64
+	edgesBase   uint64
+	span        uint64
+}
+
+const wordBytes = 8
+
+// Config sizes a synthetic graph.
+type Config struct {
+	Vertices  int
+	AvgDegree int
+	// Skew is the Zipf exponent of target-vertex popularity (hub
+	// structure). 0 disables skew.
+	Skew float64
+	Seed uint64
+}
+
+// New generates a deterministic synthetic graph.
+func New(cfg Config) *Graph {
+	if cfg.Vertices <= 0 || cfg.AvgDegree <= 0 {
+		panic(fmt.Sprintf("graph: bad config %+v", cfg))
+	}
+	rng := util.NewRNG(cfg.Seed ^ 0x6AF4)
+	g := &Graph{Vertices: cfg.Vertices}
+	nEdges := cfg.Vertices * cfg.AvgDegree
+
+	// Degree sequence: mild skew on out-degrees, strong skew on targets
+	// (hubs receive many edges) — the R-MAT-like shape of real graphs.
+	support := cfg.Vertices
+	if support > 1<<16 {
+		support = 1 << 16
+	}
+	var zipf *util.Zipf
+	if cfg.Skew > 0 {
+		zipf = util.NewZipf(rng.Fork(), support, cfg.Skew)
+	}
+	g.rowPtr = make([]uint32, cfg.Vertices+1)
+	g.edges = make([]uint32, 0, nEdges)
+	perVertex := cfg.AvgDegree
+	for v := 0; v < cfg.Vertices; v++ {
+		g.rowPtr[v] = uint32(len(g.edges))
+		deg := perVertex/2 + rng.Intn(perVertex+1)
+		for e := 0; e < deg && len(g.edges) < nEdges; e++ {
+			var tgt uint64
+			if zipf != nil {
+				// Spread hot ranks over the vertex range.
+				rank := uint64(zipf.Next())
+				tgt = (rank * 0x9E3779B97F4A7C15) % uint64(cfg.Vertices)
+			} else {
+				tgt = rng.Uint64n(uint64(cfg.Vertices))
+			}
+			g.edges = append(g.edges, uint32(tgt))
+		}
+	}
+	g.rowPtr[cfg.Vertices] = uint32(len(g.edges))
+
+	v := uint64(cfg.Vertices)
+	g.valuesBase = 0
+	g.values2Base = v * wordBytes
+	g.rowPtrBase = 2 * v * wordBytes
+	g.edgesBase = g.rowPtrBase + (v+1)*wordBytes
+	g.span = g.edgesBase + uint64(len(g.edges))*wordBytes
+	return g
+}
+
+// Edges returns the edge count.
+func (g *Graph) Edges() int { return len(g.edges) }
+
+// FootprintBytes returns the flat layout's span.
+func (g *Graph) FootprintBytes() uint64 { return g.span }
+
+// Degree returns vertex v's out-degree.
+func (g *Graph) Degree(v int) int {
+	return int(g.rowPtr[v+1] - g.rowPtr[v])
+}
+
+// Neighbors returns v's adjacency slice (shared storage; do not mutate).
+func (g *Graph) Neighbors(v int) []uint32 {
+	return g.edges[g.rowPtr[v]:g.rowPtr[v+1]]
+}
+
+// Address helpers used by the kernels.
+func (g *Graph) valueAddr(v uint32) uint64  { return g.valuesBase + uint64(v)*wordBytes }
+func (g *Graph) value2Addr(v uint32) uint64 { return g.values2Base + uint64(v)*wordBytes }
+func (g *Graph) rowPtrAddr(v int) uint64    { return g.rowPtrBase + uint64(v)*wordBytes }
+func (g *Graph) edgeAddr(i uint32) uint64   { return g.edgesBase + uint64(i)*wordBytes }

@@ -1,0 +1,194 @@
+package graph
+
+import "testing"
+
+func testGraph() *Graph {
+	return New(Config{Vertices: 2000, AvgDegree: 8, Skew: 0.9, Seed: 1})
+}
+
+func TestGraphConstruction(t *testing.T) {
+	g := testGraph()
+	if g.Vertices != 2000 {
+		t.Fatalf("vertices %d", g.Vertices)
+	}
+	if g.Edges() == 0 || g.Edges() > 2000*8 {
+		t.Fatalf("edges %d out of range", g.Edges())
+	}
+	// CSR invariant: row pointers nondecreasing, targets in range.
+	for v := 0; v < g.Vertices; v++ {
+		if g.rowPtr[v] > g.rowPtr[v+1] {
+			t.Fatalf("rowPtr not monotone at %d", v)
+		}
+		for _, tgt := range g.Neighbors(v) {
+			if int(tgt) >= g.Vertices {
+				t.Fatalf("edge target %d out of range", tgt)
+			}
+		}
+	}
+	if got := g.Degree(0); got != len(g.Neighbors(0)) {
+		t.Fatalf("degree mismatch %d", got)
+	}
+}
+
+func TestGraphDeterminism(t *testing.T) {
+	a, b := testGraph(), testGraph()
+	if a.Edges() != b.Edges() {
+		t.Fatal("same seed, different edge counts")
+	}
+	for v := 0; v < a.Vertices; v += 97 {
+		na, nb := a.Neighbors(v), b.Neighbors(v)
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("vertex %d adjacency differs", v)
+			}
+		}
+	}
+}
+
+func TestHubSkew(t *testing.T) {
+	g := testGraph()
+	// In-degree distribution must be skewed: some vertex receives far
+	// more than average.
+	in := make([]int, g.Vertices)
+	for v := 0; v < g.Vertices; v++ {
+		for _, tgt := range g.Neighbors(v) {
+			in[tgt]++
+		}
+	}
+	max, avg := 0, float64(g.Edges())/float64(g.Vertices)
+	for _, d := range in {
+		if d > max {
+			max = d
+		}
+	}
+	if float64(max) < 5*avg {
+		t.Fatalf("max in-degree %d not hub-like (avg %.1f)", max, avg)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad config did not panic")
+		}
+	}()
+	New(Config{Vertices: 0, AvgDegree: 8})
+}
+
+func TestAllKernelsEmitValidRefs(t *testing.T) {
+	g := testGraph()
+	for _, name := range []string{"pagerank", "graph500", "tri_count", "sgd", "lsh"} {
+		k, err := NewKernel(name, g, 0, 4, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.Name() != name {
+			t.Errorf("kernel name %q != %q", k.Name(), name)
+		}
+		for i := 0; i < 50000; i++ {
+			r := k.Next()
+			if r.Addr >= g.FootprintBytes() {
+				t.Fatalf("%s ref %d addr %#x beyond footprint %#x", name, i, r.Addr, g.FootprintBytes())
+			}
+			if r.Gap < 0 {
+				t.Fatalf("%s negative gap", name)
+			}
+		}
+	}
+}
+
+func TestUnknownKernel(t *testing.T) {
+	if _, err := NewKernel("nope", testGraph(), 0, 1, 1); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
+func TestPageRankTouchesAllStructures(t *testing.T) {
+	g := testGraph()
+	k := NewPageRank(g, 0, 1)
+	var sawValues, sawRowPtr, sawEdges, sawWrites bool
+	for i := 0; i < 100000; i++ {
+		r := k.Next()
+		switch {
+		case r.Addr < g.values2Base:
+			sawValues = true
+		case r.Addr < g.rowPtrBase:
+			if r.Write {
+				sawWrites = true
+			}
+		case r.Addr < g.edgesBase:
+			sawRowPtr = true
+		default:
+			sawEdges = true
+		}
+	}
+	if !sawValues || !sawRowPtr || !sawEdges || !sawWrites {
+		t.Fatalf("pagerank coverage: values=%v rowptr=%v edges=%v writes=%v",
+			sawValues, sawRowPtr, sawEdges, sawWrites)
+	}
+}
+
+func TestThreadsPartitionVertices(t *testing.T) {
+	lo0, hi0 := threadRange(100, 0, 3)
+	lo1, hi1 := threadRange(100, 1, 3)
+	lo2, hi2 := threadRange(100, 2, 3)
+	if lo0 != 0 || hi0 != lo1 || hi1 != lo2 || hi2 != 100 {
+		t.Fatalf("ranges [%d,%d) [%d,%d) [%d,%d)", lo0, hi0, lo1, hi1, lo2, hi2)
+	}
+}
+
+func TestKernelStreamsLoopForever(t *testing.T) {
+	// Kernels must be able to produce arbitrarily long streams
+	// (restarting internally) without panicking or halting.
+	g := New(Config{Vertices: 64, AvgDegree: 4, Skew: 0.5, Seed: 3})
+	for _, name := range []string{"pagerank", "graph500", "tri_count", "sgd", "lsh"} {
+		k, _ := NewKernel(name, g, 0, 1, 9)
+		for i := 0; i < 200000; i++ {
+			k.Next()
+		}
+	}
+}
+
+func TestBFSDiscoversVertices(t *testing.T) {
+	g := testGraph()
+	b := NewBFS(g, 0, 1, 5)
+	writes := 0
+	for i := 0; i < 200000; i++ {
+		if b.Next().Write {
+			writes++
+		}
+	}
+	if writes == 0 {
+		t.Fatal("BFS never wrote a parent (no discoveries)")
+	}
+	if b.restarts == 0 {
+		t.Fatal("BFS never restarted")
+	}
+}
+
+func TestKernelSpatialCharacter(t *testing.T) {
+	// pagerank's edge scans must show line-level sequentiality while
+	// its rank gathers are scattered — both characters in one stream.
+	g := New(Config{Vertices: 20000, AvgDegree: 16, Skew: 0.9, Seed: 11})
+	k := NewPageRank(g, 0, 1)
+	seqEdges, edgeRefs, valueRefs := 0, 0, 0
+	var prevEdge uint64
+	for i := 0; i < 200000; i++ {
+		r := k.Next()
+		if r.Addr >= g.edgesBase {
+			edgeRefs++
+			if r.Addr == prevEdge+wordBytes {
+				seqEdges++
+			}
+			prevEdge = r.Addr
+		} else if r.Addr < g.values2Base {
+			valueRefs++
+		}
+	}
+	if edgeRefs == 0 || valueRefs == 0 {
+		t.Fatal("missing reference classes")
+	}
+	if float64(seqEdges)/float64(edgeRefs) < 0.5 {
+		t.Fatalf("edge scan sequentiality %.2f too low", float64(seqEdges)/float64(edgeRefs))
+	}
+}

@@ -1,0 +1,207 @@
+// Package hma implements the software-managed Heterogeneous Memory
+// Architecture baseline [Meswani et al., HPCA'15] described in §2.1.2:
+// periodically the OS ranks pages by access count, moves hot pages into
+// the in-package DRAM and cold pages out, updates all PTEs, flushes all
+// TLBs, and scrubs remapped pages from on-chip caches. Because the
+// routine stops every program, it can only run at coarse epochs, so the
+// policy cannot track fine-grained temporal locality.
+//
+// Epochs here are triggered by access count (a proxy for wall-clock
+// epochs at the simulator's scale); the move cost is charged to all
+// cores through mc.SWCost, exactly the "performance hiccup" the paper
+// attributes to HMA.
+package hma
+
+import (
+	"fmt"
+	"sort"
+
+	"banshee/internal/mc"
+	"banshee/internal/mem"
+	"banshee/internal/stats"
+)
+
+// Config parameterizes HMA.
+type Config struct {
+	CapacityBytes int
+	// EpochAccesses is the number of MC accesses between remap epochs.
+	EpochAccesses uint64
+	// PerPageMoveCycles is the software cost per migrated page (copy +
+	// PTE rewrite), charged to every core while the world is stopped.
+	PerPageMoveCycles uint64
+	// FixedEpochCycles is the fixed routine overhead per epoch.
+	FixedEpochCycles uint64
+}
+
+// DefaultConfig fills unset fields with reasonable defaults.
+func DefaultConfig(capacityBytes int) Config {
+	return Config{
+		CapacityBytes:     capacityBytes,
+		EpochAccesses:     1 << 18,
+		PerPageMoveCycles: 1500,
+		FixedEpochCycles:  50000,
+	}
+}
+
+type resident struct {
+	dirty bool
+}
+
+// HMA is the scheme instance. Not safe for concurrent use.
+type HMA struct {
+	cfg      Config
+	capacity int // pages
+	cached   map[uint64]*resident
+	counts   map[uint64]uint64 // epoch access counts
+	accesses uint64
+
+	hits, misses uint64
+	epochs       uint64
+	moves        uint64
+}
+
+// New builds an HMA instance.
+func New(cfg Config) *HMA {
+	cap := cfg.CapacityBytes / mem.PageBytes
+	if cap <= 0 {
+		panic(fmt.Sprintf("hma: capacity %d smaller than one page", cfg.CapacityBytes))
+	}
+	if cfg.EpochAccesses == 0 {
+		cfg.EpochAccesses = 1 << 18
+	}
+	return &HMA{
+		cfg:      cfg,
+		capacity: cap,
+		cached:   make(map[uint64]*resident, cap),
+		counts:   make(map[uint64]uint64),
+	}
+}
+
+// Name implements mc.Scheme.
+func (h *HMA) Name() string { return "HMA" }
+
+// Access implements mc.Scheme.
+func (h *HMA) Access(req mem.Request) mc.Result {
+	addr := mem.LineAddr(req.Addr)
+	page := mem.PageNum(addr)
+	r := h.cached[page]
+
+	if req.Eviction {
+		if r != nil {
+			r.dirty = true
+			return mc.Result{Hit: true, Ops: []mem.Op{
+				{Target: mem.InPackage, Addr: addr, Bytes: mem.LineBytes, Write: true, Class: mem.ClassHitData},
+			}}
+		}
+		return mc.Result{Hit: false, Ops: []mem.Op{
+			{Target: mem.OffPackage, Addr: addr, Bytes: mem.LineBytes, Write: true, Class: mem.ClassReplacement},
+		}}
+	}
+
+	h.counts[page]++
+	h.accesses++
+	var res mc.Result
+	if r != nil {
+		h.hits++
+		res = mc.Result{Hit: true, Ops: []mem.Op{
+			{Target: mem.InPackage, Addr: addr, Bytes: mem.LineBytes, Class: mem.ClassHitData, Stage: 0, Critical: true},
+		}}
+	} else {
+		// Mapping is in the PTE: the miss goes straight off-package with
+		// no probe traffic (Table 1: miss traffic 0 B extra).
+		h.misses++
+		res = mc.Result{Hit: false, Ops: []mem.Op{
+			{Target: mem.OffPackage, Addr: addr, Bytes: mem.LineBytes, Class: mem.ClassMissData, Stage: 0, Critical: true},
+		}}
+	}
+	if h.accesses >= h.cfg.EpochAccesses {
+		h.accesses = 0
+		ops, sw := h.epoch()
+		res.Ops = append(res.Ops, ops...)
+		res.SW = append(res.SW, sw)
+	}
+	return res
+}
+
+// epoch runs the software remap: rank pages by epoch count, make the top
+// `capacity` resident, move the deltas, and charge the stop-the-world
+// cost.
+func (h *HMA) epoch() ([]mem.Op, mc.SWCost) {
+	h.epochs++
+	type pc struct {
+		page  uint64
+		count uint64
+	}
+	ranked := make([]pc, 0, len(h.counts))
+	for p, c := range h.counts {
+		ranked = append(ranked, pc{p, c})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].count != ranked[j].count {
+			return ranked[i].count > ranked[j].count
+		}
+		// Tie-break: keep currently cached pages (hysteresis), then by
+		// page number for determinism.
+		ci, cj := h.cached[ranked[i].page] != nil, h.cached[ranked[j].page] != nil
+		if ci != cj {
+			return ci
+		}
+		return ranked[i].page < ranked[j].page
+	})
+	want := make(map[uint64]bool, h.capacity)
+	for i := 0; i < len(ranked) && i < h.capacity; i++ {
+		// Only pages with at least two epoch touches are worth a move.
+		if ranked[i].count < 2 && h.cached[ranked[i].page] == nil {
+			continue
+		}
+		want[ranked[i].page] = true
+	}
+
+	var ops []mem.Op
+	moves := uint64(0)
+	for p, r := range h.cached {
+		if want[p] {
+			continue
+		}
+		// Move out; dirty pages stream back to off-package memory.
+		if r.dirty {
+			a := mem.PageBase(p)
+			ops = append(ops,
+				mem.Op{Target: mem.InPackage, Addr: a, Bytes: mem.PageBytes, Class: mem.ClassReplacement},
+				mem.Op{Target: mem.OffPackage, Addr: a, Bytes: mem.PageBytes, Write: true, Class: mem.ClassReplacement},
+			)
+		}
+		delete(h.cached, p)
+		moves++
+	}
+	for p := range want {
+		if h.cached[p] != nil {
+			continue
+		}
+		a := mem.PageBase(p)
+		ops = append(ops,
+			mem.Op{Target: mem.OffPackage, Addr: a, Bytes: mem.PageBytes, Class: mem.ClassReplacement},
+			mem.Op{Target: mem.InPackage, Addr: a, Bytes: mem.PageBytes, Write: true, Class: mem.ClassReplacement},
+		)
+		h.cached[p] = &resident{}
+		moves++
+	}
+	h.moves += moves
+	// Epoch counters reset: HMA only sees per-epoch history.
+	h.counts = make(map[uint64]uint64)
+	return ops, mc.SWCost{
+		AllCoresCycles: h.cfg.FixedEpochCycles + moves*h.cfg.PerPageMoveCycles,
+	}
+}
+
+// FillStats implements mc.Scheme.
+func (h *HMA) FillStats(s *stats.Sim) {
+	s.Remaps += h.moves
+	s.TLBShootdowns += h.epochs // every epoch flushes all TLBs
+}
+
+// Resident returns the number of cached pages (diagnostic, tests).
+func (h *HMA) Resident() int { return len(h.cached) }
+
+// Epochs returns how many remap epochs have run (diagnostic, tests).
+func (h *HMA) Epochs() uint64 { return h.epochs }

@@ -1,0 +1,150 @@
+// Package mc defines the memory-controller-side contract between the
+// simulator and a DRAM-cache scheme, plus small helpers (miss-rate and
+// footprint trackers) shared by several schemes.
+//
+// On every LLC miss or dirty eviction the simulator hands the request to
+// the configured Scheme. The scheme updates its own state (tags, page
+// mappings, frequency counters, tag buffers...) and answers with the
+// physical DRAM operations to perform, grouped into dependency stages,
+// plus any software costs (PTE update routines, TLB shootdowns, HMA
+// epochs) the simulator must charge to cores.
+package mc
+
+import (
+	"banshee/internal/mem"
+	"banshee/internal/stats"
+)
+
+// SWCost is a software routine charged by the timing model.
+type SWCost struct {
+	// InitiatorCycles stall one (randomly chosen) core: e.g. Banshee's
+	// PTE-update routine plus shootdown initiation.
+	InitiatorCycles uint64
+	// AllCoresCycles stall every core: e.g. shootdown slave cost, or an
+	// HMA stop-the-world remap epoch.
+	AllCoresCycles uint64
+}
+
+// Result is a scheme's answer for one request.
+type Result struct {
+	// Hit reports whether the demanded data was served by the
+	// in-package DRAM (counts toward DRAM-cache hit rate; ignored for
+	// evictions).
+	Hit bool
+	// Ops are the DRAM transactions to perform (see mem.Op for stage
+	// semantics). Order within a stage is preserved.
+	Ops []mem.Op
+	// SW lists software costs triggered by this request.
+	SW []SWCost
+}
+
+// Scheme is a DRAM-cache design under evaluation.
+type Scheme interface {
+	// Name identifies the scheme in reports ("Banshee", "Alloy 0.1"...).
+	Name() string
+	// Access handles one LLC miss (demand) or LLC dirty eviction
+	// (req.Eviction). Implementations must be deterministic given their
+	// construction seed.
+	Access(req mem.Request) Result
+	// FillStats merges scheme-internal counters into s at end of run.
+	FillStats(s *stats.Sim)
+}
+
+// MissRateTracker maintains the "recent miss rate" Banshee's adaptive
+// sampling multiplies into its sample rate (§4.2.1). It is a windowed
+// estimator: every Window accesses the rate snaps to the window's
+// observed rate. It starts at 1.0 so a cold cache samples aggressively.
+type MissRateTracker struct {
+	Window   uint64
+	accesses uint64
+	misses   uint64
+	rate     float64
+}
+
+// NewMissRateTracker returns a tracker with the given window (0 uses a
+// default of 8192 accesses).
+func NewMissRateTracker(window uint64) *MissRateTracker {
+	if window == 0 {
+		window = 8192
+	}
+	return &MissRateTracker{Window: window, rate: 1.0}
+}
+
+// Observe records one access outcome.
+func (t *MissRateTracker) Observe(miss bool) {
+	t.accesses++
+	if miss {
+		t.misses++
+	}
+	if t.accesses >= t.Window {
+		t.rate = float64(t.misses) / float64(t.accesses)
+		t.accesses, t.misses = 0, 0
+	}
+}
+
+// Rate returns the current estimate in [0,1].
+func (t *MissRateTracker) Rate() float64 { return t.rate }
+
+// FootprintTracker implements the idealized footprint predictor the
+// paper grants Unison and TDC (§5.1.1): the average number of lines
+// touched per page generation, managed at 4-line granularity. The
+// simulator records the touched-line count of each evicted page; the
+// predictor exposes the running average rounded up to a multiple of 4.
+type FootprintTracker struct {
+	avg   float64
+	seen  bool
+	Decay float64 // EWMA decay; 0 defaults to 0.05
+}
+
+// Record notes that an evicted page had `lines` touched lines.
+func (f *FootprintTracker) Record(lines int) {
+	d := f.Decay
+	if d == 0 {
+		d = 0.05
+	}
+	if !f.seen {
+		f.avg = float64(lines)
+		f.seen = true
+		return
+	}
+	f.avg = (1-d)*f.avg + d*float64(lines)
+}
+
+// Lines returns the predicted footprint in lines, rounded up to 4-line
+// granularity and clamped to [4, LinesPerPage]. Before any observation
+// it returns 16 (a quarter page), a neutral prior.
+func (f *FootprintTracker) Lines() int {
+	if !f.seen {
+		return 16
+	}
+	n := int(f.avg)
+	if float64(n) < f.avg {
+		n++
+	}
+	n = (n + 3) &^ 3
+	if n < 4 {
+		n = 4
+	}
+	if n > mem.LinesPerPage {
+		n = mem.LinesPerPage
+	}
+	return n
+}
+
+// Touched is a 64-bit per-page touched/dirty line bitmap helper.
+type Touched uint64
+
+// Set marks line index i (0..63).
+func (t *Touched) Set(i int) { *t |= 1 << uint(i&63) }
+
+// Get reports whether line index i is marked.
+func (t Touched) Get(i int) bool { return t&(1<<uint(i&63)) != 0 }
+
+// Count returns the number of marked lines.
+func (t Touched) Count() int {
+	n := 0
+	for x := uint64(t); x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,130 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryConstants(t *testing.T) {
+	if LinesPerPage != 64 {
+		t.Fatalf("LinesPerPage = %d, want 64", LinesPerPage)
+	}
+	if LinesPerLargePage != 32768 {
+		t.Fatalf("LinesPerLargePage = %d", LinesPerLargePage)
+	}
+	if PagesPerLargePage != 512 {
+		t.Fatalf("PagesPerLargePage = %d", PagesPerLargePage)
+	}
+	if 1<<LineOffsetBits != LineBytes || 1<<PageOffsetBits != PageBytes || 1<<LargeOffsetBits != LargeBytes {
+		t.Fatal("offset bit constants inconsistent with sizes")
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	for _, tc := range []struct{ in, want Addr }{
+		{0, 0}, {63, 0}, {64, 64}, {65, 64}, {4095, 4032}, {4096, 4096},
+	} {
+		if got := LineAddr(tc.in); got != tc.want {
+			t.Errorf("LineAddr(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestPageRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := Addr(raw % (1 << AddrBits))
+		p := PageNum(a)
+		base := PageBase(p)
+		return PageAddr(a) == base && base <= a && a-base < PageBytes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := Addr(raw % (1 << AddrBits))
+		l := LineNum(a)
+		base := LineBase(l)
+		return LineAddr(a) == base && base <= a && a-base < LineBytes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineInPage(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := Addr(raw % (1 << AddrBits))
+		li := LineInPage(a)
+		if li < 0 || li >= LinesPerPage {
+			return false
+		}
+		// Reconstruct: page base + line index * 64 covers a's line.
+		return PageAddr(a)+Addr(li*LineBytes) == LineAddr(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargePageContainsItsPages(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := Addr(raw % (1 << AddrBits))
+		lp := LargePageNum(a)
+		p := PageNum(a)
+		// The 4 KB page number always falls within the enclosing 2 MB
+		// region's page range.
+		return p/PagesPerLargePage == lp && LargePageAddr(a) <= PageAddr(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageSize(t *testing.T) {
+	if Page4K.Bytes() != PageBytes || Page2M.Bytes() != LargeBytes {
+		t.Fatal("PageSize.Bytes wrong")
+	}
+	if Page4K.String() != "4K" || Page2M.String() != "2M" {
+		t.Fatal("PageSize.String wrong")
+	}
+}
+
+func TestClassNames(t *testing.T) {
+	want := []string{"HitData", "MissData", "Tag", "Counter", "Replacement"}
+	cs := Classes()
+	if len(cs) != len(want) || len(cs) != int(ClassCount) {
+		t.Fatalf("Classes() length %d", len(cs))
+	}
+	for i, c := range cs {
+		if c.String() != want[i] {
+			t.Errorf("class %d = %q, want %q", i, c.String(), want[i])
+		}
+	}
+}
+
+func TestRequestString(t *testing.T) {
+	r := Request{Addr: 0x1000, Write: true, Core: 3}
+	if got := r.String(); got != "W@0x1000 core=3" {
+		t.Fatalf("Request.String() = %q", got)
+	}
+	r.Write = false
+	if got := r.String(); got != "R@0x1000 core=3" {
+		t.Fatalf("Request.String() = %q", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if InPackage.String() != "in-package" || OffPackage.String() != "off-package" {
+		t.Fatal("Kind.String wrong")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	op := Op{Target: InPackage, Bytes: 64, Class: ClassHitData, Stage: 1, Critical: true}
+	if got := op.String(); got != "in-package rd 64B HitData s1 crit" {
+		t.Fatalf("Op.String() = %q", got)
+	}
+}

@@ -1,0 +1,68 @@
+// Package schemes provides the two bounding configurations of the
+// evaluation (§5.1.1): NoCache (off-package DRAM only — the speedup
+// baseline every figure normalizes to) and CacheOnly (in-package DRAM of
+// infinite capacity — the upper bound, modulo total-bandwidth effects the
+// paper itself points out in §5.2).
+package schemes
+
+import (
+	"banshee/internal/mc"
+	"banshee/internal/mem"
+	"banshee/internal/stats"
+)
+
+// NoCache sends every LLC miss to off-package DRAM.
+type NoCache struct{}
+
+// NewNoCache returns the NoCache scheme.
+func NewNoCache() *NoCache { return &NoCache{} }
+
+// Name implements mc.Scheme.
+func (*NoCache) Name() string { return "NoCache" }
+
+// Access implements mc.Scheme.
+func (*NoCache) Access(req mem.Request) mc.Result {
+	a := mem.LineAddr(req.Addr)
+	if req.Eviction {
+		return mc.Result{Ops: []mem.Op{{
+			Target: mem.OffPackage, Addr: a, Bytes: mem.LineBytes,
+			Write: true, Class: mem.ClassReplacement,
+		}}}
+	}
+	return mc.Result{Ops: []mem.Op{{
+		Target: mem.OffPackage, Addr: a, Bytes: mem.LineBytes,
+		Class: mem.ClassMissData, Critical: true,
+	}}}
+}
+
+// FillStats implements mc.Scheme.
+func (*NoCache) FillStats(*stats.Sim) {}
+
+// CacheOnly serves every access from in-package DRAM: the system has no
+// external DRAM at all (so its *total* bandwidth is lower than a cached
+// system's, which is why some workloads beat it — §5.2).
+type CacheOnly struct{}
+
+// NewCacheOnly returns the CacheOnly scheme.
+func NewCacheOnly() *CacheOnly { return &CacheOnly{} }
+
+// Name implements mc.Scheme.
+func (*CacheOnly) Name() string { return "CacheOnly" }
+
+// Access implements mc.Scheme.
+func (*CacheOnly) Access(req mem.Request) mc.Result {
+	a := mem.LineAddr(req.Addr)
+	if req.Eviction {
+		return mc.Result{Hit: true, Ops: []mem.Op{{
+			Target: mem.InPackage, Addr: a, Bytes: mem.LineBytes,
+			Write: true, Class: mem.ClassHitData,
+		}}}
+	}
+	return mc.Result{Hit: true, Ops: []mem.Op{{
+		Target: mem.InPackage, Addr: a, Bytes: mem.LineBytes,
+		Class: mem.ClassHitData, Critical: true,
+	}}}
+}
+
+// FillStats implements mc.Scheme.
+func (*CacheOnly) FillStats(*stats.Sim) {}

@@ -1,0 +1,67 @@
+package schemes
+
+import (
+	"testing"
+
+	"banshee/internal/mem"
+)
+
+func sumBytes(ops []mem.Op, target mem.Kind) int {
+	n := 0
+	for _, op := range ops {
+		if op.Target == target {
+			n += op.Bytes
+		}
+	}
+	return n
+}
+
+func TestNoCacheRead(t *testing.T) {
+	s := NewNoCache()
+	res := s.Access(mem.Request{Addr: 0x1234})
+	if res.Hit {
+		t.Fatal("NoCache reported a hit")
+	}
+	if got := sumBytes(res.Ops, mem.OffPackage); got != 64 {
+		t.Fatalf("off-package bytes %d, want 64", got)
+	}
+	if sumBytes(res.Ops, mem.InPackage) != 0 {
+		t.Fatal("NoCache touched in-package DRAM")
+	}
+	if !res.Ops[0].Critical {
+		t.Fatal("demand read must be critical")
+	}
+	if res.Ops[0].Addr != mem.LineAddr(0x1234) {
+		t.Fatal("op not line-aligned")
+	}
+}
+
+func TestNoCacheEviction(t *testing.T) {
+	s := NewNoCache()
+	res := s.Access(mem.Request{Addr: 0x1234, Write: true, Eviction: true})
+	op := res.Ops[0]
+	if !op.Write || op.Target != mem.OffPackage || op.Critical {
+		t.Fatalf("eviction op = %+v", op)
+	}
+}
+
+func TestCacheOnlyAlwaysHits(t *testing.T) {
+	s := NewCacheOnly()
+	for i := 0; i < 100; i++ {
+		res := s.Access(mem.Request{Addr: mem.Addr(i * 64)})
+		if !res.Hit {
+			t.Fatal("CacheOnly missed")
+		}
+		if sumBytes(res.Ops, mem.InPackage) != 64 || sumBytes(res.Ops, mem.OffPackage) != 0 {
+			t.Fatal("CacheOnly moved wrong bytes")
+		}
+	}
+}
+
+func TestCacheOnlyEviction(t *testing.T) {
+	s := NewCacheOnly()
+	res := s.Access(mem.Request{Addr: 0x40, Write: true, Eviction: true})
+	if !res.Hit || res.Ops[0].Target != mem.InPackage || !res.Ops[0].Write {
+		t.Fatalf("eviction = %+v", res.Ops[0])
+	}
+}

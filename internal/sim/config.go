@@ -1,0 +1,304 @@
+// Package sim assembles the full simulated system of Table 2 — 16
+// four-issue cores with private L1/L2 caches, a shared L3, per-core
+// TLBs, a page table, the DRAM-cache scheme under test, and the two
+// DRAM timing models — and replays synthetic workload traces through it
+// in deterministic global time order.
+//
+// Scaling: the paper simulates a 1 GB DRAM cache over 100 G-instruction
+// runs; at trace-simulation speed that is out of reach, so the default
+// configuration scales the capacity-dependent structures (DRAM cache,
+// L3, workload footprints) down by Scale (1/16) while keeping Table 2's
+// bandwidths, latencies and per-core intensity unchanged. Relative
+// behavior — who wins and by what factor — is preserved; DESIGN.md §3
+// and EXPERIMENTS.md discuss the substitution.
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"banshee/internal/alloy"
+	"banshee/internal/banshee"
+	"banshee/internal/batman"
+	"banshee/internal/cameo"
+	"banshee/internal/dram"
+	"banshee/internal/hma"
+	"banshee/internal/mc"
+	"banshee/internal/mem"
+	"banshee/internal/schemes"
+	"banshee/internal/tdc"
+	"banshee/internal/unison"
+	"banshee/internal/vm"
+)
+
+// SchemeSpec selects and tunes the DRAM-cache scheme for a run.
+type SchemeSpec struct {
+	// Kind is one of: "nocache", "cacheonly", "alloy", "unison", "tdc",
+	// "hma", "banshee".
+	Kind string
+
+	// AlloyFillProb is Alloy's stochastic fill probability (1 or 0.1 in
+	// the paper). 0 defaults to 1.
+	AlloyFillProb float64
+
+	// Banshee tuning (zero values take Table 3 defaults).
+	BansheePolicy        banshee.Policy
+	BansheeWays          int
+	BansheeSamplingCoeff float64
+	BansheeThreshold     float64
+	BansheeLargePages    bool
+	BansheeFootprint     bool
+	BansheeTagBufEntries int
+
+	// PTEUpdateMicros overrides the tag-buffer flush routine cost
+	// (Table 5 sweeps 10/20/40 µs). 0 → 20 µs.
+	PTEUpdateMicros float64
+
+	// HMAEpochAccesses overrides HMA's epoch length in MC accesses.
+	HMAEpochAccesses uint64
+
+	// BATMAN wraps the scheme with bandwidth balancing (§5.4.2).
+	BATMAN bool
+}
+
+// ParseScheme maps the paper's display names to specs: "NoCache",
+// "CacheOnly", "Alloy 1", "Alloy 0.1", "Unison", "TDC", "HMA",
+// "Banshee", "Banshee LRU", "Banshee NoSample", "Banshee 2M", and the
+// extensions "Banshee Duel" (set dueling, §5.2 future work) and
+// "Banshee FP" (footprint caching, §6). A "+BATMAN" suffix wraps the
+// scheme with bandwidth balancing.
+func ParseScheme(name string) (SchemeSpec, error) {
+	var spec SchemeSpec
+	n := strings.TrimSpace(name)
+	if strings.HasSuffix(n, "+BATMAN") {
+		spec.BATMAN = true
+		n = strings.TrimSpace(strings.TrimSuffix(n, "+BATMAN"))
+	}
+	switch n {
+	case "NoCache":
+		spec.Kind = "nocache"
+	case "CacheOnly":
+		spec.Kind = "cacheonly"
+	case "Alloy", "Alloy 1":
+		spec.Kind = "alloy"
+		spec.AlloyFillProb = 1
+	case "Alloy 0.1":
+		spec.Kind = "alloy"
+		spec.AlloyFillProb = 0.1
+	case "Unison":
+		spec.Kind = "unison"
+	case "TDC":
+		spec.Kind = "tdc"
+	case "CAMEO":
+		spec.Kind = "cameo"
+	case "HMA":
+		spec.Kind = "hma"
+	case "Banshee":
+		spec.Kind = "banshee"
+	case "Banshee LRU":
+		spec.Kind = "banshee"
+		spec.BansheePolicy = banshee.LRUReplaceOnMiss
+	case "Banshee NoSample":
+		spec.Kind = "banshee"
+		spec.BansheePolicy = banshee.FBRNoSample
+	case "Banshee Duel":
+		spec.Kind = "banshee"
+		spec.BansheePolicy = banshee.SetDueling
+	case "Banshee FP":
+		spec.Kind = "banshee"
+		spec.BansheeFootprint = true
+	case "Banshee 2M":
+		spec.Kind = "banshee"
+		spec.BansheeLargePages = true
+	default:
+		return spec, fmt.Errorf("sim: unknown scheme %q", name)
+	}
+	return spec, nil
+}
+
+// Config is a full experiment configuration.
+type Config struct {
+	Workload string
+	Scheme   SchemeSpec
+
+	Cores        int
+	CPUMHz       float64
+	IssueWidth   int     // core IPC for non-memory instructions
+	MSHRs        int     // outstanding LLC misses a core can overlap
+	DepStallFrac float64 // fraction of misses the core must block on
+
+	L1Bytes, L1Ways int
+	L2Bytes, L2Ways int
+	L3Bytes, L3Ways int
+	TLBEntries      int
+
+	DCacheBytes   int     // DRAM cache capacity
+	InPkgChannels int     // 4 ⇒ paper's 4× bandwidth ratio (Fig. 8c sweeps)
+	InPkgLatScale float64 // Fig. 8b latency sweep (1.0 = same as DDR)
+
+	InstrPerCore uint64
+	WarmupFrac   float64
+
+	// PrefetchDegree enables the L2 stream prefetcher (§3.2 semantics:
+	// page-boundary stop, mapping copied from the trigger) with the
+	// given lines-ahead degree. 0 disables it (the paper's setup).
+	PrefetchDegree int
+
+	// Workload shaping.
+	Scale      float64 // footprint scale (tracks the capacity scale)
+	Intensity  float64 // MemRatio multiplier
+	LargePages bool    // back every allocation with 2 MB pages
+
+	Seed uint64
+}
+
+// ScaleFactor is the default capacity/footprint scale-down vs the paper.
+const ScaleFactor = 1.0 / 16.0
+
+// DefaultConfig returns the Table 2/3 system at the default scale.
+func DefaultConfig() Config {
+	return Config{
+		Cores:        16,
+		CPUMHz:       2700,
+		IssueWidth:   4,
+		MSHRs:        10,
+		DepStallFrac: 0.15,
+
+		L1Bytes: 32 << 10, L1Ways: 8,
+		L2Bytes: 128 << 10, L2Ways: 8,
+		L3Bytes: int(8 << 20 * ScaleFactor), L3Ways: 16,
+		TLBEntries: 256,
+
+		DCacheBytes:   int(1 << 30 * ScaleFactor),
+		InPkgChannels: 4,
+		InPkgLatScale: 1.0,
+
+		InstrPerCore: 4_000_000,
+		WarmupFrac:   0.25,
+
+		Scale:     ScaleFactor,
+		Intensity: 1.0,
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Cores <= 0:
+		return fmt.Errorf("sim: cores must be positive, got %d", c.Cores)
+	case c.IssueWidth <= 0:
+		return fmt.Errorf("sim: issue width must be positive, got %d", c.IssueWidth)
+	case c.MSHRs <= 0:
+		return fmt.Errorf("sim: MSHRs must be positive, got %d", c.MSHRs)
+	case c.Workload == "":
+		return fmt.Errorf("sim: workload not set")
+	case c.Scheme.Kind == "":
+		return fmt.Errorf("sim: scheme not set")
+	case c.InstrPerCore == 0:
+		return fmt.Errorf("sim: instruction budget not set")
+	case c.WarmupFrac < 0 || c.WarmupFrac >= 1:
+		return fmt.Errorf("sim: warmup fraction %v out of [0,1)", c.WarmupFrac)
+	}
+	return nil
+}
+
+// buildScheme constructs the configured scheme, wiring Banshee to the
+// system's page table and TLBs.
+func buildScheme(cfg Config, pt *vm.PageTable, tlbs []*vm.TLB) (mc.Scheme, error) {
+	cost := vm.DefaultCostModel(cfg.CPUMHz)
+	if cfg.Scheme.PTEUpdateMicros > 0 {
+		cost.PTEUpdateCycles = uint64(cfg.Scheme.PTEUpdateMicros * cfg.CPUMHz)
+	}
+	var s mc.Scheme
+	switch cfg.Scheme.Kind {
+	case "nocache":
+		s = schemes.NewNoCache()
+	case "cacheonly":
+		s = schemes.NewCacheOnly()
+	case "alloy":
+		p := cfg.Scheme.AlloyFillProb
+		if p == 0 {
+			p = 1
+		}
+		s = alloy.New(alloy.Config{CapacityBytes: cfg.DCacheBytes, FillProb: p, Seed: cfg.Seed})
+	case "unison":
+		s = unison.New(unison.Config{CapacityBytes: cfg.DCacheBytes, Ways: 4})
+	case "tdc":
+		s = tdc.New(tdc.Config{CapacityBytes: cfg.DCacheBytes})
+	case "cameo":
+		s = cameo.New(cameo.Config{CapacityBytes: cfg.DCacheBytes})
+	case "hma":
+		hcfg := hma.DefaultConfig(cfg.DCacheBytes)
+		if cfg.Scheme.HMAEpochAccesses > 0 {
+			hcfg.EpochAccesses = cfg.Scheme.HMAEpochAccesses
+		}
+		s = hma.New(hcfg)
+	case "banshee":
+		bcfg := banshee.DefaultConfig(cfg.DCacheBytes)
+		if cfg.Scheme.BansheeLargePages || cfg.LargePages {
+			bcfg = banshee.LargePageConfig(cfg.DCacheBytes)
+		}
+		bcfg.Seed = cfg.Seed
+		bcfg.Policy = cfg.Scheme.BansheePolicy
+		bcfg.Footprint = cfg.Scheme.BansheeFootprint
+		if bcfg.Policy == banshee.FBRNoSample {
+			// Counters must out-range the larger no-sampling threshold.
+			bcfg.CounterBits = 8
+		}
+		if cfg.Scheme.BansheeWays > 0 {
+			bcfg.Ways = cfg.Scheme.BansheeWays
+		}
+		if cfg.Scheme.BansheeSamplingCoeff > 0 {
+			bcfg.SamplingCoeff = cfg.Scheme.BansheeSamplingCoeff
+		}
+		if cfg.Scheme.BansheeThreshold > 0 {
+			bcfg.Threshold = cfg.Scheme.BansheeThreshold
+		}
+		if cfg.Scheme.BansheeTagBufEntries > 0 {
+			bcfg.TagBufferEntries = cfg.Scheme.BansheeTagBufEntries
+		}
+		s = banshee.New(bcfg, pt, tlbs, cost)
+	default:
+		return nil, fmt.Errorf("sim: unknown scheme kind %q", cfg.Scheme.Kind)
+	}
+	if cfg.Scheme.BATMAN {
+		s = batman.New(s, batman.Config{Seed: cfg.Seed})
+	}
+	return s, nil
+}
+
+// dramConfigs builds the two DRAM models per Table 2 and the sweep
+// knobs of Fig. 8.
+func dramConfigs(cfg Config) (inPkg, offPkg dram.Config) {
+	offPkg = dram.OffPackageConfig(cfg.CPUMHz)
+	inPkg = dram.InPackageConfig(cfg.CPUMHz)
+	if cfg.InPkgChannels > 0 {
+		inPkg.Channels = cfg.InPkgChannels
+	}
+	if cfg.InPkgLatScale > 0 {
+		inPkg.LatencyScale = cfg.InPkgLatScale
+	}
+	return inPkg, offPkg
+}
+
+// SchemeNames lists the display names understood by ParseScheme that
+// the paper's main comparison uses (Fig. 4 bars).
+func SchemeNames() []string {
+	return []string{"NoCache", "Unison", "TDC", "Alloy 1", "Alloy 0.1", "Banshee", "CacheOnly"}
+}
+
+// lineMeta encodes the page-size bit carried on cached lines (§4.3) so
+// LLC dirty evictions can be routed at the right granularity.
+func lineMeta(size mem.PageSize) uint8 {
+	if size == mem.Page2M {
+		return 1
+	}
+	return 0
+}
+
+// metaSize decodes lineMeta.
+func metaSize(meta uint8) mem.PageSize {
+	if meta&1 != 0 {
+		return mem.Page2M
+	}
+	return mem.Page4K
+}

@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"testing"
+
+	"banshee/internal/mem"
+)
+
+// Integration tests: whole-system properties that only emerge from the
+// interaction of cores, caches, VM, scheme, and DRAM timing.
+
+func TestWorkloadSchemeMatrixRuns(t *testing.T) {
+	// Every (workload, scheme) pair must run without panicking and
+	// produce internally consistent statistics. Small budgets keep this
+	// broad sweep fast.
+	schemes := []string{"NoCache", "CacheOnly", "Alloy 0.1", "Unison", "TDC", "HMA", "CAMEO", "Banshee", "Banshee FP", "Banshee Duel"}
+	workloads := []string{"pagerank", "lbm", "mix1"}
+	for _, w := range workloads {
+		for _, sc := range schemes {
+			cfg := quickConfig(w, sc)
+			cfg.InstrPerCore = 60_000
+			st, err := Run(cfg, w, sc)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", w, sc, err)
+			}
+			if st.DCHits+st.DCMisses != st.LLCMisses {
+				t.Errorf("%s/%s: DC hits+misses %d != LLC misses %d",
+					w, sc, st.DCHits+st.DCMisses, st.LLCMisses)
+			}
+		}
+	}
+}
+
+func TestHierarchyFiltering(t *testing.T) {
+	st, _ := Run(quickConfig("gcc", "NoCache"), "gcc", "NoCache")
+	if st.L1Accesses == 0 {
+		t.Fatal("no L1 accesses recorded")
+	}
+	if st.LLCAccesses > st.L2Accesses || st.L2Accesses > st.L1Accesses {
+		t.Fatalf("hierarchy not filtering: L1=%d L2=%d LLC=%d",
+			st.L1Accesses, st.L2Accesses, st.LLCAccesses)
+	}
+	if st.LLCMisses > st.LLCAccesses {
+		t.Fatal("more LLC misses than accesses")
+	}
+}
+
+func TestWriteWorkloadProducesEvictions(t *testing.T) {
+	// lbm writes ~45% of references; dirty lines must flow out of the
+	// LLC to the memory controller.
+	st, _ := Run(quickConfig("lbm", "NoCache"), "lbm", "NoCache")
+	if st.LLCEvictions == 0 {
+		t.Fatal("write-heavy workload produced no LLC evictions")
+	}
+	// Under NoCache every eviction lands off-package as Replacement
+	// class writes.
+	if st.OffPkg.Bytes[mem.ClassReplacement] == 0 {
+		t.Fatal("evictions not accounted off-package")
+	}
+}
+
+func TestAlloyWriteAbsorption(t *testing.T) {
+	// The always-fill Alloy absorbs dirty evictions in-package (they hit
+	// lines filled by the preceding read misses), relieving off-package
+	// write traffic relative to NoCache — the lbm effect.
+	cfg := quickConfig("lbm", "NoCache")
+	cfg.InstrPerCore = 300_000
+	no, _ := Run(cfg, "lbm", "NoCache")
+	al, _ := Run(cfg, "lbm", "Alloy 1")
+	noWrites := no.OffPkg.Bytes[mem.ClassReplacement]
+	alWrites := al.OffPkg.Bytes[mem.ClassReplacement]
+	if alWrites >= noWrites {
+		t.Fatalf("Alloy off-package write bytes %d not below NoCache %d", alWrites, noWrites)
+	}
+}
+
+func TestBansheeMPKIBelowNoCache(t *testing.T) {
+	cfg := quickConfig("pagerank", "Banshee")
+	cfg.InstrPerCore = 400_000
+	no, _ := Run(cfg, "pagerank", "NoCache")
+	ba, _ := Run(cfg, "pagerank", "Banshee")
+	if ba.MPKI() >= no.MPKI() {
+		t.Fatalf("Banshee MPKI %.1f not below NoCache %.1f", ba.MPKI(), no.MPKI())
+	}
+}
+
+func TestLargePageEvictionRouting(t *testing.T) {
+	// End-to-end §4.3: with 2 MB pages, LLC dirty evictions carry the
+	// page-size bit and must route through the large-page Banshee
+	// without probes exploding or mis-mapped writes.
+	cfg := quickConfig("pagerank", "Banshee 2M")
+	cfg.LargePages = true
+	cfg.InstrPerCore = 300_000
+	st, err := Run(cfg, "pagerank", "Banshee 2M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LLCEvictions == 0 {
+		t.Skip("no evictions in this window")
+	}
+	// Writes to cached large pages land in-package as HitData.
+	if st.InPkg.Bytes[mem.ClassHitData] == 0 {
+		t.Fatal("no in-package data traffic under large pages")
+	}
+}
+
+func TestSWStallsSlowTheRun(t *testing.T) {
+	// Raising the PTE-update cost must never make the run faster.
+	cfg := quickConfig("pagerank", "Banshee")
+	cfg.InstrPerCore = 700_000
+	cfg.Scheme.BansheeTagBufEntries = 16 // force frequent flushes
+	cfg.Scheme.PTEUpdateMicros = 0.001
+	cheap, _ := Run(cfg, "pagerank", "Banshee")
+	if cheap.TagBufferFlushes == 0 {
+		t.Fatal("setup bug: no flushes to cost")
+	}
+	cfg.Scheme.PTEUpdateMicros = 200 // absurdly expensive
+	costly, _ := Run(cfg, "pagerank", "Banshee")
+	if costly.Cycles <= cheap.Cycles {
+		t.Fatalf("200µs PTE updates (%d cycles) not slower than free (%d)",
+			costly.Cycles, cheap.Cycles)
+	}
+	if costly.SWStallCycles <= cheap.SWStallCycles {
+		t.Fatal("software stalls not accounted")
+	}
+}
+
+func TestBandwidthSweepMonotone(t *testing.T) {
+	// Fig. 8c's premise: more in-package channels must not hurt a
+	// cache-heavy scheme.
+	cfg := quickConfig("pagerank", "Unison")
+	cfg.InstrPerCore = 250_000
+	cfg.InPkgChannels = 2
+	narrow, _ := Run(cfg, "pagerank", "Unison")
+	cfg.InPkgChannels = 8
+	wide, _ := Run(cfg, "pagerank", "Unison")
+	if wide.Cycles > narrow.Cycles*105/100 {
+		t.Fatalf("8-channel run (%d cycles) slower than 2-channel (%d)",
+			wide.Cycles, narrow.Cycles)
+	}
+}
+
+func TestLatencySweepMonotone(t *testing.T) {
+	cfg := quickConfig("mcf", "TDC")
+	cfg.InstrPerCore = 250_000
+	cfg.InPkgLatScale = 1.0
+	slow, _ := Run(cfg, "mcf", "TDC")
+	cfg.InPkgLatScale = 0.5
+	fast, _ := Run(cfg, "mcf", "TDC")
+	if fast.Cycles > slow.Cycles*102/100 {
+		t.Fatalf("halved latency (%d cycles) not at least as fast as full (%d)",
+			fast.Cycles, slow.Cycles)
+	}
+}
+
+func TestKernelWorkloadsEndToEnd(t *testing.T) {
+	for _, w := range []string{"pagerank_kernel", "tri_count_kernel", "sgd_kernel", "lsh_kernel", "graph500_kernel"} {
+		cfg := quickConfig(w, "Banshee")
+		cfg.InstrPerCore = 80_000
+		st, err := Run(cfg, w, "Banshee")
+		if err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+		if st.LLCMisses == 0 {
+			t.Errorf("%s: no DRAM traffic", w)
+		}
+	}
+}
+
+func TestWarmupWindowExcluded(t *testing.T) {
+	// With warmup, the measured window must be smaller than the whole
+	// run (cycles measured < cycles of a warmup-free run).
+	cfg := quickConfig("pagerank", "Banshee")
+	cfg.InstrPerCore = 200_000
+	cfg.WarmupFrac = 0
+	full, _ := Run(cfg, "pagerank", "Banshee")
+	cfg.WarmupFrac = 0.5
+	windowed, _ := Run(cfg, "pagerank", "Banshee")
+	if windowed.Cycles >= full.Cycles {
+		t.Fatalf("warmup window (%d cycles) not smaller than full run (%d)",
+			windowed.Cycles, full.Cycles)
+	}
+	if windowed.Instructions >= full.Instructions {
+		t.Fatal("warmup instructions not excluded")
+	}
+}

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"testing"
+
+	"banshee/internal/mem"
+)
+
+func TestPrefetcherStreamDetection(t *testing.T) {
+	p := NewPrefetcher(4)
+	// First two sequential accesses build confidence, no prefetch yet.
+	if got := p.Observe(0x1000, 1); got != nil {
+		t.Fatalf("premature prefetch %v", got)
+	}
+	if got := p.Observe(0x1040, 2); got != nil {
+		t.Fatalf("confidence-1 prefetch %v", got)
+	}
+	// Third consecutive access arms the stream.
+	got := p.Observe(0x1080, 3)
+	if len(got) != 4 {
+		t.Fatalf("prefetch count %d, want 4", len(got))
+	}
+	for i, a := range got {
+		want := mem.Addr(0x10C0 + i*64)
+		if a != want {
+			t.Fatalf("prefetch %d = %#x, want %#x", i, uint64(a), uint64(want))
+		}
+	}
+}
+
+func TestPrefetcherStopsAtPageBoundary(t *testing.T) {
+	p := NewPrefetcher(8)
+	// Arm a stream ending one line before a page boundary.
+	p.Observe(0x1F40, 1)
+	p.Observe(0x1F80, 2)
+	got := p.Observe(0x1FC0, 3)
+	// Next line would be 0x2000 — a new page. §3.2: never cross.
+	if len(got) != 0 {
+		t.Fatalf("prefetched %v across a page boundary", got)
+	}
+	// Two lines before the boundary: exactly one prefetch fits.
+	p2 := NewPrefetcher(8)
+	p2.Observe(0x1E80, 1)
+	p2.Observe(0x1EC0, 2)
+	got = p2.Observe(0x1F00, 3)
+	if len(got) != 3 { // 0x1F40, 0x1F80, 0x1FC0
+		t.Fatalf("boundary truncation gave %d prefetches, want 3", len(got))
+	}
+}
+
+func TestPrefetcherRandomAccessesSilent(t *testing.T) {
+	p := NewPrefetcher(4)
+	addrs := []mem.Addr{0x1000, 0x9000, 0x3000, 0xF000, 0x5000, 0xB000}
+	for i, a := range addrs {
+		if got := p.Observe(a, uint64(i)); got != nil {
+			t.Fatalf("random access %#x triggered prefetch", uint64(a))
+		}
+	}
+}
+
+func TestPrefetcherTracksMultipleStreams(t *testing.T) {
+	p := NewPrefetcher(2)
+	// Interleave two streams; both must eventually arm.
+	armed := 0
+	for i := 0; i < 6; i++ {
+		a := mem.Addr(0x10000 + i*64)
+		b := mem.Addr(0x80000 + i*64)
+		if len(p.Observe(a, uint64(2*i))) > 0 {
+			armed++
+		}
+		if len(p.Observe(b, uint64(2*i+1))) > 0 {
+			armed++
+		}
+	}
+	if armed < 4 {
+		t.Fatalf("interleaved streams armed only %d times", armed)
+	}
+}
+
+func TestPrefetchReducesLLCMisses(t *testing.T) {
+	base := quickConfig("lbm", "Banshee")
+	base.InstrPerCore = 300_000
+	off, err := Run(base, "lbm", "Banshee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := base
+	pf.PrefetchDegree = 4
+	on, err := Run(pf, "lbm", "Banshee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Prefetches == 0 {
+		t.Fatal("prefetcher never fired on a streaming workload")
+	}
+	if on.LLCMisses >= off.LLCMisses {
+		t.Fatalf("prefetching did not cut LLC misses: %d vs %d", on.LLCMisses, off.LLCMisses)
+	}
+}
+
+func TestPrefetchDisabledByDefault(t *testing.T) {
+	st, err := Run(quickConfig("lbm", "Banshee"), "lbm", "Banshee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Prefetches != 0 {
+		t.Fatal("prefetches issued with the feature disabled")
+	}
+}

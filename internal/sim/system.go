@@ -1,0 +1,483 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"banshee/internal/cache"
+	"banshee/internal/dram"
+	"banshee/internal/mc"
+	"banshee/internal/mem"
+	"banshee/internal/stats"
+	"banshee/internal/trace"
+	"banshee/internal/util"
+	"banshee/internal/vm"
+)
+
+// core is one simulated CPU's replay state.
+type core struct {
+	id      int
+	time    uint64 // local clock in CPU cycles
+	pending uint64 // stall cycles to apply before the next event
+	fract   int    // sub-cycle instruction remainder at IssueWidth
+
+	outstanding []uint64 // completion times of in-flight LLC misses
+	retired     uint64   // instructions retired
+	done        bool
+
+	l1, l2   *cache.Cache
+	tlb      *vm.TLB
+	prefetch *Prefetcher // nil when disabled
+}
+
+// System is a fully assembled simulation. Build with NewSystem, drive
+// with Run. Not safe for concurrent use; run distinct Systems in
+// parallel instead.
+type System struct {
+	cfg    Config
+	work   *trace.Workload
+	cores  []*core
+	l3     *cache.Cache
+	pt     *vm.PageTable
+	scheme mc.Scheme
+	inPkg  *dram.DRAM
+	offPkg *dram.DRAM
+	rng    *util.RNG
+	cost   vm.CostModel
+
+	st     stats.Sim
+	warmed bool
+	warmSt stats.Sim
+	warmAt uint64 // max core time when warmup ended
+}
+
+// NewSystem assembles a system from cfg.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	w, err := trace.New(cfg.Workload, cfg.Cores, cfg.Seed,
+		trace.WithScale(cfg.Scale), trace.WithIntensity(cfg.Intensity))
+	if err != nil {
+		return nil, err
+	}
+	pt := vm.NewPageTable()
+	pt.DefaultLarge = cfg.LargePages
+
+	s := &System{
+		cfg:  cfg,
+		work: w,
+		pt:   pt,
+		rng:  util.NewRNG(cfg.Seed ^ 0x51A1),
+		cost: vm.DefaultCostModel(cfg.CPUMHz),
+	}
+	s.l3 = cache.New(cache.Config{
+		Name: "L3", SizeBytes: cfg.L3Bytes, Ways: cfg.L3Ways,
+		LineBytes: mem.LineBytes, Policy: cache.LRU, Seed: cfg.Seed,
+	})
+	var tlbs []*vm.TLB
+	for i := 0; i < cfg.Cores; i++ {
+		c := &core{
+			id: i,
+			l1: cache.New(cache.Config{
+				Name: fmt.Sprintf("L1d-%d", i), SizeBytes: cfg.L1Bytes, Ways: cfg.L1Ways,
+				LineBytes: mem.LineBytes, Policy: cache.LRU, Seed: cfg.Seed + uint64(i),
+			}),
+			l2: cache.New(cache.Config{
+				Name: fmt.Sprintf("L2-%d", i), SizeBytes: cfg.L2Bytes, Ways: cfg.L2Ways,
+				LineBytes: mem.LineBytes, Policy: cache.LRU, Seed: cfg.Seed + uint64(i),
+			}),
+			tlb: vm.NewTLB(cfg.TLBEntries),
+		}
+		if cfg.PrefetchDegree > 0 {
+			c.prefetch = NewPrefetcher(cfg.PrefetchDegree)
+		}
+		s.cores = append(s.cores, c)
+		tlbs = append(tlbs, c.tlb)
+	}
+	scheme, err := buildScheme(cfg, pt, tlbs)
+	if err != nil {
+		return nil, err
+	}
+	s.scheme = scheme
+	inCfg, offCfg := dramConfigs(cfg)
+	s.inPkg = dram.New(inCfg)
+	s.offPkg = dram.New(offCfg)
+	s.st.Workload = cfg.Workload
+	s.st.Scheme = scheme.Name()
+	return s, nil
+}
+
+// Scheme returns the scheme under test (diagnostics, tests).
+func (s *System) Scheme() mc.Scheme { return s.scheme }
+
+// coreHeap orders cores by local time (ties by id for determinism).
+type coreHeap []*core
+
+func (h coreHeap) Len() int { return len(h) }
+func (h coreHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].id < h[j].id
+}
+func (h coreHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *coreHeap) Push(x interface{}) { *h = append(*h, x.(*core)) }
+func (h *coreHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+// Run replays the workload to the instruction budget and returns the
+// measured statistics (post-warmup window).
+func (s *System) Run() stats.Sim {
+	h := make(coreHeap, 0, len(s.cores))
+	for _, c := range s.cores {
+		h = append(h, c)
+	}
+	heap.Init(&h)
+
+	totalBudget := s.cfg.InstrPerCore * uint64(len(s.cores))
+	warmTarget := uint64(float64(totalBudget) * s.cfg.WarmupFrac)
+	var totalRetired uint64
+
+	for h.Len() > 0 {
+		c := heap.Pop(&h).(*core)
+		if c.pending > 0 {
+			c.time += c.pending
+			c.pending = 0
+		}
+		before := c.retired
+		s.step(c)
+		totalRetired += c.retired - before
+
+		if !s.warmed && totalRetired >= warmTarget {
+			s.snapshotWarm()
+		}
+		if c.retired >= s.cfg.InstrPerCore {
+			c.done = true
+		} else {
+			heap.Push(&h, c)
+		}
+	}
+	return s.finalize(totalRetired)
+}
+
+// step advances one core by one trace event.
+func (s *System) step(c *core) {
+	ev := s.work.Next(c.id)
+	// Non-memory instructions retire at IssueWidth.
+	c.fract += ev.Gap
+	c.time += uint64(c.fract / s.cfg.IssueWidth)
+	c.fract %= s.cfg.IssueWidth
+	c.retired += uint64(ev.Gap) + 1
+
+	// Translate. A TLB miss pays the page-walk cost.
+	pte, tlbHit := c.tlb.Lookup(ev.Addr, s.pt)
+	if !tlbHit {
+		c.time += s.cost.PageWalkCycles
+	}
+	meta := lineMeta(pte.Size)
+
+	// SRAM hierarchy. Hit latencies are folded into the core model (the
+	// out-of-order window hides them); only LLC misses are timed.
+	s.st.L1Accesses++
+	if hit, ev1 := c.l1.Access(ev.Addr, ev.Write, meta); !hit {
+		if ev1 != nil {
+			s.fillL2(c, ev1.Addr, true, ev1.Meta)
+		}
+		s.st.L2Accesses++
+		if c.prefetch != nil {
+			if pf := c.prefetch.Observe(ev.Addr, c.time); len(pf) > 0 {
+				s.issuePrefetches(c, pf, pte)
+			}
+		}
+		if hit2, ev2 := c.l2.Access(ev.Addr, false, meta); !hit2 {
+			if ev2 != nil {
+				s.fillL3(c, ev2.Addr, true, ev2.Meta)
+			}
+			s.st.LLCAccesses++
+			if hit3, ev3 := s.l3.Access(ev.Addr, false, meta); !hit3 {
+				if ev3 != nil {
+					s.evictToMC(c, ev3)
+				}
+				s.llcMiss(c, ev.Addr, ev.Write, pte)
+			}
+		} else {
+			s.st.L2Misses += 0 // L2 hit
+		}
+	}
+}
+
+// fillL2 pushes an L1 dirty eviction into L2, cascading as needed.
+func (s *System) fillL2(c *core, a mem.Addr, dirty bool, meta uint8) {
+	if ev := c.l2.Fill(a, dirty, meta); ev != nil {
+		s.fillL3(c, ev.Addr, true, ev.Meta)
+	}
+}
+
+// fillL3 pushes an L2 dirty eviction into the shared L3.
+func (s *System) fillL3(c *core, a mem.Addr, dirty bool, meta uint8) {
+	if ev := s.l3.Fill(a, dirty, meta); ev != nil {
+		s.evictToMC(c, ev)
+	}
+}
+
+// evictToMC sends an LLC dirty write-back to the memory controller. It
+// carries no TLB mapping (mem.Mapping zero value) — the page-size bit
+// on the line (§4.3) routes it.
+func (s *System) evictToMC(c *core, ev *cache.Eviction) {
+	s.st.LLCEvictions++
+	req := mem.Request{
+		Addr:     ev.Addr,
+		Write:    true,
+		Core:     c.id,
+		Size:     metaSize(ev.Meta),
+		Eviction: true,
+	}
+	s.execute(c, req, c.time)
+}
+
+// llcMiss issues a demand miss to the memory controller with
+// MSHR-limited overlap.
+func (s *System) llcMiss(c *core, a mem.Addr, write bool, pte vm.PTE) {
+	s.st.LLCMisses++
+	// Retire completed misses; if the window is full, stall to the
+	// earliest completion.
+	c.drain()
+	if len(c.outstanding) >= s.cfg.MSHRs {
+		earliest := c.outstanding[0]
+		for _, t := range c.outstanding[1:] {
+			if t < earliest {
+				earliest = t
+			}
+		}
+		if earliest > c.time {
+			c.time = earliest
+		}
+		c.drain()
+	}
+	req := mem.Request{
+		Addr:    a,
+		Write:   write,
+		Core:    c.id,
+		Size:    pte.Size,
+		Mapping: pte.Mapping(),
+	}
+	start := c.time
+	completion := s.execute(c, req, c.time)
+	if completion > start {
+		s.st.MissLatSum += completion - start
+		s.st.MissLatCount++
+	}
+	// A fraction of misses are dependence-critical: the core blocks on
+	// them (pointer chasing); the rest overlap within the MSHR window.
+	if s.rng.Bool(s.cfg.DepStallFrac) {
+		if completion > c.time {
+			c.time = completion
+		}
+	} else {
+		c.outstanding = append(c.outstanding, completion)
+	}
+}
+
+// drain retires outstanding misses that completed by the core's clock.
+func (c *core) drain() {
+	out := c.outstanding[:0]
+	for _, t := range c.outstanding {
+		if t > c.time {
+			out = append(out, t)
+		}
+	}
+	c.outstanding = out
+}
+
+// execute runs a request through the scheme and times its DRAM ops,
+// returning the critical-path completion time.
+func (s *System) execute(c *core, req mem.Request, now uint64) uint64 {
+	res := s.scheme.Access(req)
+	if !req.Eviction {
+		if res.Hit {
+			s.st.DCHits++
+		} else {
+			s.st.DCMisses++
+		}
+	}
+	return s.executeOps(c, res, now)
+}
+
+// executeOps times a scheme result's DRAM operations and applies its
+// software costs, returning the critical-path completion time.
+func (s *System) executeOps(c *core, res mc.Result, now uint64) uint64 {
+	// Stage-ordered execution: stage N opens when stage N-1's critical
+	// ops complete; background ops issue at stage open and overlap.
+	stageStart := now
+	maxStage := uint8(0)
+	for _, op := range res.Ops {
+		if op.Stage > maxStage {
+			maxStage = op.Stage
+		}
+	}
+	completion := now
+	for st := uint8(0); st <= maxStage; st++ {
+		critEnd := stageStart
+		for _, op := range res.Ops {
+			if op.Stage != st {
+				continue
+			}
+			var d *dram.DRAM
+			var tr *stats.Traffic
+			if op.Target == mem.InPackage {
+				d, tr = s.inPkg, &s.st.InPkg
+			} else {
+				d, tr = s.offPkg, &s.st.OffPkg
+			}
+			var done uint64
+			if op.Fused {
+				done = d.Extend(op.Addr, op.Bytes, op.Write, op.Critical)
+			} else {
+				done = d.Access(stageStart, op.Addr, op.Bytes, op.Write, op.Critical)
+			}
+			tr.Add(op.Class, uint64(op.Bytes))
+			if op.Critical && done > critEnd {
+				critEnd = done
+			}
+		}
+		stageStart = critEnd
+		completion = critEnd
+	}
+
+	// Software costs: the initiator stalls the requesting core; every
+	// other core picks up its share at its next scheduling point.
+	for _, sw := range res.SW {
+		c.time += sw.InitiatorCycles
+		s.st.SWStallCycles += sw.InitiatorCycles
+		if sw.AllCoresCycles > 0 {
+			for _, other := range s.cores {
+				if other.id != c.id && !other.done {
+					other.pending += sw.AllCoresCycles
+				}
+			}
+			s.st.SWStallCycles += sw.AllCoresCycles * uint64(len(s.cores)-1)
+		}
+	}
+	return completion
+}
+
+// snapshotWarm marks the end of the warmup window.
+func (s *System) snapshotWarm() {
+	s.warmed = true
+	s.warmSt = s.st
+	for _, c := range s.cores {
+		if c.time > s.warmAt {
+			s.warmAt = c.time
+		}
+	}
+}
+
+// finalize computes the post-warmup measurement window.
+func (s *System) finalize(totalRetired uint64) stats.Sim {
+	var end uint64
+	for _, c := range s.cores {
+		if c.time > end {
+			end = c.time
+		}
+	}
+	s.scheme.FillStats(&s.st)
+	out := s.st
+	if s.warmed {
+		out = subStats(s.st, s.warmSt)
+	}
+	warmRetired := uint64(float64(s.cfg.InstrPerCore*uint64(len(s.cores))) * s.cfg.WarmupFrac)
+	if !s.warmed {
+		warmRetired = 0
+	}
+	out.Workload = s.cfg.Workload
+	out.Scheme = s.scheme.Name()
+	out.Instructions = totalRetired - warmRetired
+	out.Cycles = end - s.warmAt
+	return out
+}
+
+// subStats returns a-b fieldwise for the counters that accumulate
+// monotonically during a run.
+func subStats(a, b stats.Sim) stats.Sim {
+	out := a
+	out.L1Accesses -= b.L1Accesses
+	out.L1Misses -= b.L1Misses
+	out.L2Accesses -= b.L2Accesses
+	out.L2Misses -= b.L2Misses
+	out.LLCAccesses -= b.LLCAccesses
+	out.LLCMisses -= b.LLCMisses
+	out.LLCEvictions -= b.LLCEvictions
+	out.DCHits -= b.DCHits
+	out.DCMisses -= b.DCMisses
+	out.SWStallCycles -= b.SWStallCycles
+	out.MissLatSum -= b.MissLatSum
+	out.MissLatCount -= b.MissLatCount
+	out.Prefetches -= b.Prefetches
+	for i := range out.InPkg.Bytes {
+		out.InPkg.Bytes[i] -= b.InPkg.Bytes[i]
+		out.OffPkg.Bytes[i] -= b.OffPkg.Bytes[i]
+	}
+	// Scheme-internal counters (Remaps, flushes...) are filled once at
+	// finalize and represent whole-run totals; they are not windowed.
+	return out
+}
+
+// Run is the package-level convenience: build a system for (workload,
+// scheme display name) on top of cfg and run it.
+//
+// Run replaces cfg.Scheme with the named scheme's spec, except that
+// scheme-tuning fields already set on cfg.Scheme (sampling coefficient,
+// ways, thresholds, buffer sizes, PTE-update cost, epoch length) are
+// preserved — so sweeps can tune a scheme and still select it by name.
+// Use RunConfig to run a fully hand-built Config verbatim.
+func Run(cfg Config, workload, scheme string) (stats.Sim, error) {
+	spec, err := ParseScheme(scheme)
+	if err != nil {
+		return stats.Sim{}, err
+	}
+	// Preserve tuning knobs from the caller's spec.
+	t := cfg.Scheme
+	spec.AlloyFillProb = pick(t.AlloyFillProb, spec.AlloyFillProb)
+	spec.BansheeWays = pickInt(t.BansheeWays, spec.BansheeWays)
+	spec.BansheeSamplingCoeff = pick(t.BansheeSamplingCoeff, spec.BansheeSamplingCoeff)
+	spec.BansheeThreshold = pick(t.BansheeThreshold, spec.BansheeThreshold)
+	spec.BansheeTagBufEntries = pickInt(t.BansheeTagBufEntries, spec.BansheeTagBufEntries)
+	spec.PTEUpdateMicros = pick(t.PTEUpdateMicros, spec.PTEUpdateMicros)
+	if t.HMAEpochAccesses != 0 {
+		spec.HMAEpochAccesses = t.HMAEpochAccesses
+	}
+	spec.BansheeFootprint = spec.BansheeFootprint || t.BansheeFootprint
+	cfg.Workload = workload
+	cfg.Scheme = spec
+	return RunConfig(cfg)
+}
+
+func pick(override, base float64) float64 {
+	if override != 0 {
+		return override
+	}
+	return base
+}
+
+func pickInt(override, base int) int {
+	if override != 0 {
+		return override
+	}
+	return base
+}
+
+// RunConfig runs cfg exactly as given (cfg.Workload and cfg.Scheme must
+// be fully populated).
+func RunConfig(cfg Config) (stats.Sim, error) {
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		return stats.Sim{}, err
+	}
+	return sys.Run(), nil
+}

@@ -1,0 +1,144 @@
+// Package tdc implements the Tagless DRAM Cache baseline [Lee et al.,
+// ISCA'15] in the idealized form the paper evaluates (§5.1.1):
+//
+//   - page mapping lives in PTEs/TLBs, so no tag traffic at all: a hit
+//     moves exactly 64 B, a miss 64 B (Table 1);
+//   - fully associative, FIFO replacement, replacement on *every* miss;
+//   - a perfect footprint predictor (same idealization as Unison) limits
+//     fill traffic to the lines a page generation will touch;
+//   - TLB coherence is assumed free (zero-overhead hardware directory)
+//     and the address-consistency problem is ignored, exactly as the
+//     paper grants it;
+//   - large pages are not cacheable (TDC disables them, §4.3) — the
+//     simulator never routes 2 MB-page workloads to TDC.
+package tdc
+
+import (
+	"fmt"
+
+	"banshee/internal/mc"
+	"banshee/internal/mem"
+	"banshee/internal/stats"
+)
+
+// Config sizes the TDC cache.
+type Config struct {
+	CapacityBytes int
+}
+
+type entry struct {
+	touched mc.Touched
+	dirty   mc.Touched
+	// fifoPos is the insertion index, for diagnostics; eviction order is
+	// maintained by the queue itself.
+	fifoPos uint64
+}
+
+// TDC is the scheme instance. Not safe for concurrent use.
+type TDC struct {
+	capacity  int // pages
+	pages     map[uint64]*entry
+	fifo      []uint64 // ring buffer of resident pages in insertion order
+	head      int
+	count     uint64
+	footprint mc.FootprintTracker
+
+	hits, misses uint64
+	fills        uint64
+}
+
+// New builds a TDC instance; capacity must hold at least one page.
+func New(cfg Config) *TDC {
+	cap := cfg.CapacityBytes / mem.PageBytes
+	if cap <= 0 {
+		panic(fmt.Sprintf("tdc: capacity %d smaller than one page", cfg.CapacityBytes))
+	}
+	return &TDC{
+		capacity: cap,
+		pages:    make(map[uint64]*entry, cap),
+		fifo:     make([]uint64, 0, cap),
+	}
+}
+
+// Name implements mc.Scheme.
+func (t *TDC) Name() string { return "TDC" }
+
+// Access implements mc.Scheme.
+func (t *TDC) Access(req mem.Request) mc.Result {
+	addr := mem.LineAddr(req.Addr)
+	page := mem.PageNum(addr)
+	e := t.pages[page]
+	li := mem.LineInPage(addr)
+
+	if req.Eviction {
+		// Mapping is known from PTEs/TLBs for free: no probe traffic.
+		if e != nil {
+			e.touched.Set(li)
+			e.dirty.Set(li)
+			return mc.Result{Hit: true, Ops: []mem.Op{
+				{Target: mem.InPackage, Addr: addr, Bytes: mem.LineBytes, Write: true, Class: mem.ClassHitData},
+			}}
+		}
+		return mc.Result{Hit: false, Ops: []mem.Op{
+			{Target: mem.OffPackage, Addr: addr, Bytes: mem.LineBytes, Write: true, Class: mem.ClassReplacement},
+		}}
+	}
+
+	if e != nil {
+		t.hits++
+		e.touched.Set(li)
+		return mc.Result{Hit: true, Ops: []mem.Op{
+			{Target: mem.InPackage, Addr: addr, Bytes: mem.LineBytes, Class: mem.ClassHitData, Stage: 0, Critical: true},
+		}}
+	}
+
+	// Miss: demand line from off-package, then replace on every miss.
+	t.misses++
+	ops := []mem.Op{
+		{Target: mem.OffPackage, Addr: addr, Bytes: mem.LineBytes, Class: mem.ClassMissData, Stage: 0, Critical: true},
+	}
+	ops = append(ops, t.insert(page, addr)...)
+	return mc.Result{Hit: false, Ops: ops}
+}
+
+// insert places a page, evicting the FIFO head if full; returns the
+// background replacement ops.
+func (t *TDC) insert(page uint64, demand mem.Addr) []mem.Op {
+	var ops []mem.Op
+	if len(t.fifo) >= t.capacity {
+		victim := t.fifo[t.head]
+		ve := t.pages[victim]
+		t.footprint.Record(ve.touched.Count())
+		if n := ve.dirty.Count(); n > 0 {
+			va := mem.PageBase(victim)
+			ops = append(ops,
+				mem.Op{Target: mem.InPackage, Addr: va, Bytes: n * mem.LineBytes, Class: mem.ClassReplacement, Stage: 1},
+				mem.Op{Target: mem.OffPackage, Addr: va, Bytes: n * mem.LineBytes, Write: true, Class: mem.ClassReplacement, Stage: 1},
+			)
+		}
+		delete(t.pages, victim)
+		t.fifo[t.head] = page
+		t.head = (t.head + 1) % t.capacity
+	} else {
+		t.fifo = append(t.fifo, page)
+	}
+	fp := t.footprint.Lines()
+	if fill := (fp - 1) * mem.LineBytes; fill > 0 {
+		ops = append(ops, mem.Op{Target: mem.OffPackage, Addr: demand, Bytes: fill, Class: mem.ClassReplacement, Stage: 1})
+	}
+	ops = append(ops, mem.Op{Target: mem.InPackage, Addr: demand, Bytes: fp * mem.LineBytes, Write: true, Class: mem.ClassReplacement, Stage: 1})
+	t.count++
+	t.fills++
+	e := &entry{fifoPos: t.count}
+	e.touched.Set(mem.LineInPage(demand))
+	t.pages[page] = e
+	return ops
+}
+
+// FillStats implements mc.Scheme.
+func (t *TDC) FillStats(s *stats.Sim) {
+	s.Remaps += t.fills
+}
+
+// Resident returns the number of cached pages (diagnostic, tests).
+func (t *TDC) Resident() int { return len(t.pages) }

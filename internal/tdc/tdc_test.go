@@ -1,0 +1,163 @@
+package tdc
+
+import (
+	"testing"
+
+	"banshee/internal/mem"
+)
+
+func newTest() *TDC {
+	return New(Config{CapacityBytes: 64 * mem.PageBytes})
+}
+
+func bytesTo(ops []mem.Op, target mem.Kind) int {
+	n := 0
+	for _, op := range ops {
+		if op.Target == target {
+			n += op.Bytes
+		}
+	}
+	return n
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity did not panic")
+		}
+	}()
+	New(Config{CapacityBytes: 100})
+}
+
+// Table 1: TDC hit moves exactly 64 B — no tag traffic at all.
+func TestTaglessHit(t *testing.T) {
+	d := newTest()
+	d.Access(mem.Request{Addr: 0x1000})
+	res := d.Access(mem.Request{Addr: 0x1040})
+	if !res.Hit {
+		t.Fatal("page hit expected")
+	}
+	if got := bytesTo(res.Ops, mem.InPackage); got != 64 {
+		t.Fatalf("hit bytes %d, want exactly 64 (tagless)", got)
+	}
+	for _, op := range res.Ops {
+		if op.Class == mem.ClassTag || op.Class == mem.ClassCounter {
+			t.Fatal("TDC generated tag/metadata traffic")
+		}
+	}
+}
+
+// Table 1: miss moves 64 B critically, replaces on every miss.
+func TestMissReplacesAlways(t *testing.T) {
+	d := newTest()
+	for i := 0; i < 10; i++ {
+		res := d.Access(mem.Request{Addr: mem.Addr(i) << mem.PageOffsetBits})
+		if res.Hit {
+			t.Fatal("unexpected hit")
+		}
+	}
+	if d.fills != 10 {
+		t.Fatalf("fills %d, want 10 (replacement on every miss)", d.fills)
+	}
+	if d.Resident() != 10 {
+		t.Fatalf("resident %d", d.Resident())
+	}
+}
+
+func TestFIFOEvictionOrder(t *testing.T) {
+	d := newTest()
+	// Fill to capacity.
+	for i := 0; i < 64; i++ {
+		d.Access(mem.Request{Addr: mem.Addr(i) << mem.PageOffsetBits})
+	}
+	// Touch page 0 repeatedly: FIFO ignores recency.
+	for i := 0; i < 10; i++ {
+		if !d.Access(mem.Request{Addr: 0}).Hit {
+			t.Fatal("page 0 not resident")
+		}
+	}
+	// Insert one more page: page 0 (oldest insertion) must go.
+	d.Access(mem.Request{Addr: 64 << mem.PageOffsetBits})
+	if d.Access(mem.Request{Addr: 0}).Hit {
+		t.Fatal("FIFO kept the oldest page despite recency")
+	}
+	if d.Resident() != 64 {
+		t.Fatalf("resident %d, want 64 (capacity)", d.Resident())
+	}
+}
+
+func TestFullAssociativity(t *testing.T) {
+	d := newTest()
+	// Pages that would conflict in a set-associative cache coexist here.
+	stride := mem.Addr(1) << 30
+	for i := 0; i < 60; i++ {
+		d.Access(mem.Request{Addr: mem.Addr(i) * stride})
+	}
+	hits := 0
+	for i := 0; i < 60; i++ {
+		if d.Access(mem.Request{Addr: mem.Addr(i) * stride}).Hit {
+			hits++
+		}
+	}
+	if hits != 60 {
+		t.Fatalf("only %d/60 strided pages resident; not fully associative", hits)
+	}
+}
+
+func TestDirtyWritebackOnEviction(t *testing.T) {
+	d := newTest()
+	d.Access(mem.Request{Addr: 0})
+	d.Access(mem.Request{Addr: 0x40, Write: true, Eviction: true}) // dirty line 1
+	for i := 1; i < 64; i++ {
+		d.Access(mem.Request{Addr: mem.Addr(i) << mem.PageOffsetBits})
+	}
+	// Next insertion evicts page 0 with one dirty line.
+	res := d.Access(mem.Request{Addr: 64 << mem.PageOffsetBits})
+	wb := 0
+	for _, op := range res.Ops {
+		if op.Target == mem.OffPackage && op.Write {
+			wb += op.Bytes
+		}
+	}
+	if wb != 64 {
+		t.Fatalf("writeback bytes %d, want 64 (one dirty line)", wb)
+	}
+}
+
+func TestEvictionNoProbeTraffic(t *testing.T) {
+	// TDC's mapping is in PTEs/TLBs: dirty evictions route for free.
+	d := newTest()
+	res := d.Access(mem.Request{Addr: 0x5000, Write: true, Eviction: true})
+	if bytesTo(res.Ops, mem.InPackage) != 0 {
+		t.Fatal("eviction miss generated in-package probe traffic")
+	}
+	if bytesTo(res.Ops, mem.OffPackage) != 64 {
+		t.Fatal("eviction miss must write 64B off-package")
+	}
+	d.Access(mem.Request{Addr: 0x6000})
+	res = d.Access(mem.Request{Addr: 0x6000, Write: true, Eviction: true})
+	if !res.Hit || bytesTo(res.Ops, mem.InPackage) != 64 {
+		t.Fatal("resident eviction must write 64B in-package, nothing else")
+	}
+}
+
+func TestFootprintGrowsFillTraffic(t *testing.T) {
+	d := newTest()
+	// Train: generations touching 32 lines per page.
+	for g := 0; g < 200; g++ {
+		base := mem.Addr(g+100) << mem.PageOffsetBits
+		for l := 0; l < 32; l++ {
+			d.Access(mem.Request{Addr: base + mem.Addr(l*64)})
+		}
+	}
+	res := d.Access(mem.Request{Addr: 1 << 40})
+	var fill int
+	for _, op := range res.Ops {
+		if op.Target == mem.InPackage && op.Write {
+			fill += op.Bytes
+		}
+	}
+	if fill != 32*64 {
+		t.Fatalf("fill bytes %d, want %d (learned 32-line footprint)", fill, 32*64)
+	}
+}

@@ -1,0 +1,307 @@
+package trace
+
+import (
+	"testing"
+
+	"banshee/internal/mem"
+)
+
+func TestNamesComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 16 {
+		t.Fatalf("expected the paper's 16 workloads, got %d", len(names))
+	}
+	for _, n := range names {
+		if _, err := New(n, 4, 1); err != nil {
+			t.Errorf("workload %q failed to build: %v", n, err)
+		}
+	}
+}
+
+func TestGraphNamesAreShared(t *testing.T) {
+	for _, n := range GraphNames() {
+		p, ok := Profiles(n)
+		if !ok {
+			t.Fatalf("graph workload %q has no profile", n)
+		}
+		if !p.Shared {
+			t.Errorf("graph workload %q must share its address space", n)
+		}
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	if _, err := New("nosuch", 4, 1); err == nil {
+		t.Fatal("unknown workload did not error")
+	}
+	if _, err := New("pagerank", 0, 1); err == nil {
+		t.Fatal("zero cores did not error")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := New("pagerank", 4, 99)
+	b, _ := New("pagerank", 4, 99)
+	for i := 0; i < 5000; i++ {
+		c := i % 4
+		ea, eb := a.Next(c), b.Next(c)
+		if ea != eb {
+			t.Fatalf("streams diverged at event %d: %+v vs %+v", i, ea, eb)
+		}
+	}
+}
+
+func TestSeedsChangeStream(t *testing.T) {
+	a, _ := New("pagerank", 2, 1)
+	b, _ := New("pagerank", 2, 2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next(0).Addr == b.Next(0).Addr {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Fatalf("different seeds produced %d/1000 identical addresses", same)
+	}
+}
+
+func TestSharedAddressSpace(t *testing.T) {
+	w, _ := New("pagerank", 8, 7)
+	if !w.Shared() {
+		t.Fatal("pagerank must be shared")
+	}
+	fp := w.Footprint()
+	for c := 0; c < 8; c++ {
+		for i := 0; i < 2000; i++ {
+			if a := w.Next(c).Addr; uint64(a) >= fp {
+				t.Fatalf("core %d addressed %#x beyond shared footprint %#x", c, a, fp)
+			}
+		}
+	}
+}
+
+func TestPrivateRegionsDisjoint(t *testing.T) {
+	w, _ := New("mcf", 4, 7)
+	if w.Shared() {
+		t.Fatal("mcf must be multiprogrammed")
+	}
+	regions := make([]map[uint64]bool, 4)
+	for c := 0; c < 4; c++ {
+		regions[c] = map[uint64]bool{}
+		for i := 0; i < 3000; i++ {
+			regions[c][uint64(w.Next(c).Addr)>>40] = true
+		}
+	}
+	for c := 1; c < 4; c++ {
+		for hi := range regions[c] {
+			if regions[0][hi] {
+				t.Fatalf("cores 0 and %d share a 1TB region", c)
+			}
+		}
+	}
+}
+
+func TestFootprintBounded(t *testing.T) {
+	w, _ := New("lbm", 2, 3, WithScale(1.0/16))
+	// Each core stays within its own footprint span.
+	perCore := w.Footprint() / 2
+	for i := 0; i < 20000; i++ {
+		e := w.Next(0)
+		off := uint64(e.Addr) - (1 << 40)
+		if off >= perCore+mem.PageBytes {
+			t.Fatalf("address %#x beyond scaled footprint %#x", e.Addr, perCore)
+		}
+	}
+}
+
+func TestScaleShrinksFootprint(t *testing.T) {
+	big, _ := New("pagerank", 2, 1)
+	small, _ := New("pagerank", 2, 1, WithScale(1.0/16))
+	if small.Footprint() >= big.Footprint() {
+		t.Fatal("scale did not shrink footprint")
+	}
+}
+
+func TestIntensityRaisesAccessRate(t *testing.T) {
+	gaps := func(mult float64) int {
+		w, _ := New("gcc", 1, 5, WithIntensity(mult))
+		total := 0
+		for i := 0; i < 5000; i++ {
+			total += w.Next(0).Gap
+		}
+		return total
+	}
+	if gaps(4) >= gaps(1) {
+		t.Fatal("higher intensity did not shrink instruction gaps")
+	}
+}
+
+func TestWriteFraction(t *testing.T) {
+	w, _ := New("lbm", 1, 9)
+	p, _ := Profiles("lbm")
+	writes := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if w.Next(0).Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / n
+	if frac < p.WriteFrac-0.05 || frac > p.WriteFrac+0.05 {
+		t.Fatalf("write fraction %.3f, profile says %.3f", frac, p.WriteFrac)
+	}
+}
+
+func TestSpatialLocalityStreaming(t *testing.T) {
+	// lbm (stream 0.96, 56 lines/visit) must produce mostly
+	// consecutive-line accesses.
+	w, _ := New("lbm", 1, 11)
+	consec := 0
+	var prev mem.Addr
+	const n = 20000
+	for i := 0; i < n; i++ {
+		a := w.Next(0).Addr
+		if i > 0 && a == prev+mem.LineBytes {
+			consec++
+		}
+		prev = a
+	}
+	if frac := float64(consec) / n; frac < 0.8 {
+		t.Fatalf("lbm consecutive-line fraction %.2f, want >0.8", frac)
+	}
+}
+
+func TestPointerChasingNotSequential(t *testing.T) {
+	w, _ := New("omnetpp", 1, 11)
+	consec := 0
+	var prev mem.Addr
+	const n = 20000
+	for i := 0; i < n; i++ {
+		a := w.Next(0).Addr
+		if i > 0 && a == prev+mem.LineBytes {
+			consec++
+		}
+		prev = a
+	}
+	if frac := float64(consec) / n; frac > 0.3 {
+		t.Fatalf("omnetpp consecutive fraction %.2f, want low", frac)
+	}
+}
+
+func TestZipfSkewInPageVisits(t *testing.T) {
+	// graph500 (zipf 1.05) page popularity must be heavily skewed: the
+	// top 10% of pages should receive well over half the non-stream
+	// visits.
+	w, _ := New("graph500", 1, 13, WithScale(1.0/64))
+	counts := map[uint64]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[mem.PageNum(w.Next(0).Addr)]++
+	}
+	// Sort counts descending via bucket accumulation.
+	var all []int
+	for _, c := range counts {
+		all = append(all, c)
+	}
+	total, top := 0, 0
+	for _, c := range all {
+		total += c
+	}
+	// Select the top decile by threshold sweep (simple selection).
+	threshold := percentile(all, 0.9)
+	for _, c := range all {
+		if c >= threshold {
+			top += c
+		}
+	}
+	if frac := float64(top) / float64(total); frac < 0.4 {
+		t.Fatalf("top-decile pages got %.2f of visits, want skew > 0.4", frac)
+	}
+}
+
+func percentile(xs []int, p float64) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	// Insertion sort (test helper; inputs are small).
+	s := append([]int(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+	idx := int(p * float64(len(s)-1))
+	return s[idx]
+}
+
+func TestMixUsesDistinctProfiles(t *testing.T) {
+	w, err := New("mix1", 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Shared() {
+		t.Fatal("mixes are multiprogrammed")
+	}
+	// Cores 0 (libquantum: streaming) and 1 (mcf: chasing) must have
+	// very different sequentiality.
+	seq := func(c int) float64 {
+		consec := 0
+		var prev mem.Addr
+		const n = 10000
+		for i := 0; i < n; i++ {
+			a := w.Next(c).Addr
+			if i > 0 && a == prev+mem.LineBytes {
+				consec++
+			}
+			prev = a
+		}
+		return float64(consec) / n
+	}
+	if s0, s1 := seq(0), seq(1); s0 < s1+0.3 {
+		t.Fatalf("mix1 core0 (libquantum) seq %.2f vs core1 (mcf) %.2f: profiles not applied", s0, s1)
+	}
+}
+
+func TestLineReuseAcrossVisits(t *testing.T) {
+	// Hot pages must re-touch the same lines across visits often enough
+	// for line-granularity caches to work (the Alloy-enabling property).
+	w, _ := New("graph500", 1, 17, WithScale(1.0/64))
+	lineSeen := map[uint64]int{}
+	const n = 100000
+	reuse := 0
+	for i := 0; i < n; i++ {
+		l := mem.LineNum(w.Next(0).Addr)
+		if lineSeen[l] > 0 {
+			reuse++
+		}
+		lineSeen[l]++
+	}
+	if frac := float64(reuse) / n; frac < 0.3 {
+		t.Fatalf("line reuse fraction %.2f too low for line-granularity caches", frac)
+	}
+}
+
+func TestGapsNonNegativeAndIntense(t *testing.T) {
+	for _, name := range Names() {
+		w, _ := New(name, 2, 23)
+		total := 0
+		const n = 5000
+		for i := 0; i < n; i++ {
+			g := w.Next(0).Gap
+			if g < 0 {
+				t.Fatalf("%s produced negative gap", name)
+			}
+			total += g
+		}
+		if total == 0 {
+			t.Fatalf("%s produced zero gaps everywhere", name)
+		}
+	}
+}
+
+func TestAllProfilesListed(t *testing.T) {
+	all := AllProfiles()
+	if len(all) != 17 { // 13 named + 4 mix-only members
+		t.Fatalf("AllProfiles returned %d entries", len(all))
+	}
+}

@@ -1,0 +1,104 @@
+package util
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfRange(t *testing.T) {
+	z := NewZipf(NewRNG(1), 100, 0.8)
+	for i := 0; i < 10000; i++ {
+		k := z.Next()
+		if k < 0 || k >= 100 {
+			t.Fatalf("rank %d out of [0,100)", k)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// Rank 0 must be drawn more often than rank 50 for s > 0.
+	z := NewZipf(NewRNG(2), 100, 1.0)
+	counts := make([]int, 100)
+	for i := 0; i < 200000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("no skew: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+	// With s=1 the ratio of P(0)/P(9) should be about 10.
+	ratio := float64(counts[0]) / float64(counts[9])
+	if ratio < 5 || ratio > 20 {
+		t.Fatalf("rank0/rank9 ratio %v, want ~10", ratio)
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z := NewZipf(NewRNG(3), 10, 0)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-n/10) > n/50 {
+			t.Fatalf("s=0 bucket %d count %d not uniform", i, c)
+		}
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	z := NewZipf(NewRNG(4), 1000, 0.7)
+	sum := 0.0
+	for k := 0; k < 1000; k++ {
+		p := z.Prob(k)
+		if p < 0 {
+			t.Fatalf("negative probability at rank %d", k)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestZipfProbOutOfRange(t *testing.T) {
+	z := NewZipf(NewRNG(5), 10, 1)
+	if z.Prob(-1) != 0 || z.Prob(10) != 0 {
+		t.Fatal("out-of-range Prob must be 0")
+	}
+}
+
+func TestZipfPanicsOnBadArgs(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		s float64
+	}{{0, 1}, {-5, 1}, {10, -0.1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d, %v) did not panic", tc.n, tc.s)
+				}
+			}()
+			NewZipf(NewRNG(1), tc.n, tc.s)
+		}()
+	}
+}
+
+func TestZipfDeterminism(t *testing.T) {
+	a := NewZipf(NewRNG(9), 500, 0.9)
+	b := NewZipf(NewRNG(9), 500, 0.9)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("zipf streams diverged at %d", i)
+		}
+	}
+}
+
+func TestZipfMonotoneProb(t *testing.T) {
+	z := NewZipf(NewRNG(6), 50, 0.5)
+	for k := 1; k < 50; k++ {
+		if z.Prob(k) > z.Prob(k-1)+1e-12 {
+			t.Fatalf("probability not monotone at rank %d", k)
+		}
+	}
+}

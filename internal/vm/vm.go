@@ -1,0 +1,248 @@
+// Package vm models the virtual-memory substrate Banshee's
+// software/hardware co-design relies on: page tables whose PTEs carry the
+// DRAM-cache mapping extension (cached bit + way bits, §3.2), per-core
+// TLBs that may hold stale copies of those bits (the whole point of the
+// lazy coherence protocol, §3.4), the OS reverse-mapping mechanism that
+// locates all PTEs for a physical frame (including aliases), and the cost
+// accounting for TLB shootdowns and page-table update routines.
+//
+// Address-space convention: workload traces emit virtual addresses.
+// Frames are allocated on first touch; the default allocator maps a
+// virtual page to an equal-numbered physical frame, which keeps traces
+// interpretable, while still exercising the full translate path. Aliases
+// can be created explicitly (Alias) to exercise the reverse map.
+package vm
+
+import (
+	"fmt"
+
+	"banshee/internal/mem"
+)
+
+// PTE is a page-table entry with Banshee's 3-bit extension.
+type PTE struct {
+	VPage uint64 // virtual page number (index in the table)
+	Frame uint64 // physical frame number
+	Size  mem.PageSize
+
+	// Banshee extension (§3.2). For a 4-way cache, Way needs 2 bits;
+	// together with Cached this is the 3-bit PTE/TLB extension the paper
+	// describes.
+	Cached bool
+	Way    uint8
+}
+
+// Mapping converts the PTE extension to the request-carried form.
+func (p *PTE) Mapping() mem.Mapping {
+	return mem.Mapping{Known: true, Cached: p.Cached, Way: p.Way}
+}
+
+// PageTable maps virtual pages to frames and maintains the OS reverse
+// map (frame → all PTEs), which Banshee's PTE-update routine uses to
+// find every alias of a physical page (§3.4).
+type PageTable struct {
+	entries map[uint64]*PTE   // vpage → PTE
+	reverse map[uint64][]*PTE // frame → PTEs mapping it
+	large   map[uint64]bool   // vpages (2 MB-aligned) backed by large pages
+
+	// DefaultLarge makes every translation allocate 2 MB pages (the
+	// §5.4.1 "all data resides on large pages" experiment).
+	DefaultLarge bool
+}
+
+// NewPageTable returns an empty page table.
+func NewPageTable() *PageTable {
+	return &PageTable{
+		entries: make(map[uint64]*PTE),
+		reverse: make(map[uint64][]*PTE),
+		large:   make(map[uint64]bool),
+	}
+}
+
+// DeclareLargeRegion marks the 2 MB-aligned virtual region containing
+// vaddr as backed by a large page; subsequent translations of any page
+// in the region return a single 2 MB PTE.
+func (pt *PageTable) DeclareLargeRegion(vaddr mem.Addr) {
+	pt.large[mem.LargePageNum(vaddr)] = true
+}
+
+// IsLarge reports whether vaddr falls in a large-page region, declaring
+// the region first when DefaultLarge is set.
+func (pt *PageTable) IsLarge(vaddr mem.Addr) bool {
+	if pt.DefaultLarge {
+		pt.large[mem.LargePageNum(vaddr)] = true
+		return true
+	}
+	return pt.large[mem.LargePageNum(vaddr)]
+}
+
+// Translate returns the PTE for vaddr, allocating a frame on first
+// touch. Large regions translate at 2 MB granularity: the PTE's VPage
+// and Frame are then large-page numbers scaled to 4 KB frame units.
+func (pt *PageTable) Translate(vaddr mem.Addr) *PTE {
+	if pt.IsLarge(vaddr) {
+		lp := mem.LargePageNum(vaddr)
+		key := lp * mem.PagesPerLargePage // canonical 4 KB-unit index
+		if e, ok := pt.entries[key]; ok {
+			return e
+		}
+		e := &PTE{VPage: key, Frame: key, Size: mem.Page2M}
+		pt.entries[key] = e
+		pt.reverse[e.Frame] = append(pt.reverse[e.Frame], e)
+		return e
+	}
+	vp := mem.PageNum(vaddr)
+	if e, ok := pt.entries[vp]; ok {
+		return e
+	}
+	e := &PTE{VPage: vp, Frame: vp, Size: mem.Page4K}
+	pt.entries[vp] = e
+	pt.reverse[e.Frame] = append(pt.reverse[e.Frame], e)
+	return e
+}
+
+// Alias maps an additional virtual page onto an existing frame,
+// modelling shared memory. It returns the new PTE. The frame must have
+// been allocated already.
+func (pt *PageTable) Alias(vpage, frame uint64) (*PTE, error) {
+	if _, ok := pt.entries[vpage]; ok {
+		return nil, fmt.Errorf("vm: vpage %#x already mapped", vpage)
+	}
+	if len(pt.reverse[frame]) == 0 {
+		return nil, fmt.Errorf("vm: frame %#x not allocated", frame)
+	}
+	src := pt.reverse[frame][0]
+	e := &PTE{VPage: vpage, Frame: frame, Size: src.Size, Cached: src.Cached, Way: src.Way}
+	pt.entries[vpage] = e
+	pt.reverse[frame] = append(pt.reverse[frame], e)
+	return e, nil
+}
+
+// ReverseLookup returns all PTEs mapping the given frame — the OS
+// reverse-mapping mechanism of §3.4.
+func (pt *PageTable) ReverseLookup(frame uint64) []*PTE {
+	return pt.reverse[frame]
+}
+
+// SetCached updates the DRAM-cache extension bits of every PTE mapping
+// frame, returning how many PTEs were touched. This is the core of the
+// software PTE-update routine triggered by a tag-buffer flush.
+func (pt *PageTable) SetCached(frame uint64, cached bool, way uint8) int {
+	ptes := pt.reverse[frame]
+	for _, e := range ptes {
+		e.Cached = cached
+		e.Way = way
+	}
+	return len(ptes)
+}
+
+// Len returns the number of PTEs (diagnostic).
+func (pt *PageTable) Len() int { return len(pt.entries) }
+
+// tlbEntry is a cached PTE snapshot: the mapping bits are copies and can
+// go stale relative to the page table — exactly the staleness Banshee's
+// tag buffer tolerates.
+type tlbEntry struct {
+	vpage uint64
+	pte   PTE // snapshot, not pointer: models stale TLB contents
+	stamp uint64
+	valid bool
+}
+
+// TLB is one core's translation lookaside buffer (fully associative,
+// LRU). Sized generously by default; TLB miss *timing* is modeled by the
+// simulator via WalkCycles.
+type TLB struct {
+	entries []tlbEntry
+	tick    uint64
+
+	Hits, Misses uint64
+	Shootdowns   uint64
+}
+
+// NewTLB returns a TLB with n entries. n must be positive.
+func NewTLB(n int) *TLB {
+	if n <= 0 {
+		panic(fmt.Sprintf("vm: TLB size must be positive, got %d", n))
+	}
+	return &TLB{entries: make([]tlbEntry, n)}
+}
+
+func (t *TLB) keyFor(vaddr mem.Addr, pt *PageTable) uint64 {
+	if pt.IsLarge(vaddr) {
+		return mem.LargePageNum(vaddr)*mem.PagesPerLargePage | 1<<63 // disambiguate sizes
+	}
+	return mem.PageNum(vaddr)
+}
+
+// Lookup translates vaddr through the TLB, filling from the page table
+// on a miss. It returns the (possibly stale) PTE snapshot and whether
+// the translation hit in the TLB.
+func (t *TLB) Lookup(vaddr mem.Addr, pt *PageTable) (PTE, bool) {
+	t.tick++
+	key := t.keyFor(vaddr, pt)
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].vpage == key {
+			t.entries[i].stamp = t.tick
+			t.Hits++
+			return t.entries[i].pte, true
+		}
+	}
+	t.Misses++
+	pte := *pt.Translate(vaddr) // snapshot the current PTE content
+	victim := 0
+	for i := range t.entries {
+		if !t.entries[i].valid {
+			victim = i
+			break
+		}
+		if t.entries[i].stamp < t.entries[victim].stamp {
+			victim = i
+		}
+	}
+	t.entries[victim] = tlbEntry{vpage: key, pte: pte, stamp: t.tick, valid: true}
+	return pte, false
+}
+
+// Flush invalidates every entry (a TLB shootdown's effect on this core).
+func (t *TLB) Flush() {
+	t.Shootdowns++
+	for i := range t.entries {
+		t.entries[i].valid = false
+	}
+}
+
+// Occupancy returns the number of valid entries (diagnostic).
+func (t *TLB) Occupancy() int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// CostModel holds the software-cost parameters of §5.1 (Table 3),
+// already converted to CPU cycles by the caller.
+type CostModel struct {
+	PTEUpdateCycles      uint64 // whole tag-buffer flush routine (20 µs default)
+	ShootdownInitiator   uint64 // 4 µs default
+	ShootdownSlave       uint64 // 1 µs default
+	PageWalkCycles       uint64 // TLB miss penalty
+	LargePageWalkCycles  uint64 // usually smaller (fewer levels); 0 = same as 4 KB
+	PerPTETouchCycles    uint64 // incremental cost per PTE updated in a flush
+	SoftwareEpochOverlap bool   // if true, routine overlaps with execution (idealization)
+}
+
+// DefaultCostModel returns the paper's Table 3 costs at the given clock.
+func DefaultCostModel(cpuMHz float64) CostModel {
+	us := func(n float64) uint64 { return uint64(n * cpuMHz) } // µs × MHz = cycles
+	return CostModel{
+		PTEUpdateCycles:    us(20),
+		ShootdownInitiator: us(4),
+		ShootdownSlave:     us(1),
+		PageWalkCycles:     100,
+		PerPTETouchCycles:  30,
+	}
+}
