@@ -1,0 +1,3 @@
+module banshee
+
+go 1.24

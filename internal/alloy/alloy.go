@@ -49,6 +49,10 @@ type Alloy struct {
 	rng   *util.RNG
 	fillP float64
 
+	// ops is the scratch buffer reused by every Access (see the
+	// ownership note on mc.Result).
+	ops []mem.Op
+
 	hits, misses uint64
 	fills        uint64
 	writebacks   uint64
@@ -96,6 +100,7 @@ func popcount(x uint64) int {
 
 // Access implements mc.Scheme.
 func (a *Alloy) Access(req mem.Request) mc.Result {
+	a.ops = a.ops[:0]
 	addr := mem.LineAddr(req.Addr)
 	slot, tag := a.slot(addr)
 	if req.Eviction {
@@ -108,17 +113,18 @@ func (a *Alloy) Access(req mem.Request) mc.Result {
 	// in the next stage.
 	if slot.valid && slot.tag == tag {
 		a.hits++
-		return mc.Result{Hit: true, Ops: []mem.Op{
-			{Target: mem.InPackage, Addr: addr, Bytes: mem.LineBytes, Class: mem.ClassHitData, Stage: 0, Critical: true},
-			{Target: mem.InPackage, Addr: addr, Bytes: tagBytes, Class: mem.ClassTag, Stage: 0, Critical: true, Fused: true},
-		}}
+		a.ops = append(a.ops,
+			mem.Op{Target: mem.InPackage, Addr: addr, Bytes: mem.LineBytes, Class: mem.ClassHitData, Stage: 0, Critical: true},
+			mem.Op{Target: mem.InPackage, Addr: addr, Bytes: tagBytes, Class: mem.ClassTag, Stage: 0, Critical: true, Fused: true},
+		)
+		return mc.Result{Hit: true, Ops: a.ops}
 	}
 	a.misses++
-	ops := []mem.Op{
-		{Target: mem.InPackage, Addr: addr, Bytes: mem.LineBytes, Class: mem.ClassMissData, Stage: 0, Critical: true},
-		{Target: mem.InPackage, Addr: addr, Bytes: tagBytes, Class: mem.ClassTag, Stage: 0, Critical: true, Fused: true},
-		{Target: mem.OffPackage, Addr: addr, Bytes: mem.LineBytes, Class: mem.ClassMissData, Stage: 1, Critical: true},
-	}
+	ops := append(a.ops,
+		mem.Op{Target: mem.InPackage, Addr: addr, Bytes: mem.LineBytes, Class: mem.ClassMissData, Stage: 0, Critical: true},
+		mem.Op{Target: mem.InPackage, Addr: addr, Bytes: tagBytes, Class: mem.ClassTag, Stage: 0, Critical: true, Fused: true},
+		mem.Op{Target: mem.OffPackage, Addr: addr, Bytes: mem.LineBytes, Class: mem.ClassMissData, Stage: 1, Critical: true},
+	)
 	// Stochastic fill (BEAR): replace only with probability fillP.
 	if a.rng.Bool(a.fillP) {
 		a.fills++
@@ -136,6 +142,7 @@ func (a *Alloy) Access(req mem.Request) mc.Result {
 		)
 		*slot = line{tag: tag, valid: true}
 	}
+	a.ops = ops
 	return mc.Result{Hit: false, Ops: ops}
 }
 
@@ -150,16 +157,16 @@ func (a *Alloy) victimAddr(addr mem.Addr, victimTag uint64) mem.Addr {
 // read), then the 64 B data write to whichever DRAM owns the line.
 func (a *Alloy) eviction(addr mem.Addr, slot *line, tag uint64) mc.Result {
 	a.tagProbes++
-	ops := []mem.Op{
-		{Target: mem.InPackage, Addr: addr, Bytes: tagBytes, Class: mem.ClassTag, Stage: 0},
-	}
-	if slot.valid && slot.tag == tag {
+	ops := append(a.ops, mem.Op{Target: mem.InPackage, Addr: addr, Bytes: tagBytes, Class: mem.ClassTag, Stage: 0})
+	hit := slot.valid && slot.tag == tag
+	if hit {
 		slot.dirty = true
 		ops = append(ops, mem.Op{Target: mem.InPackage, Addr: addr, Bytes: mem.LineBytes, Write: true, Class: mem.ClassHitData, Stage: 1})
-		return mc.Result{Hit: true, Ops: ops}
+	} else {
+		ops = append(ops, mem.Op{Target: mem.OffPackage, Addr: addr, Bytes: mem.LineBytes, Write: true, Class: mem.ClassReplacement, Stage: 1})
 	}
-	ops = append(ops, mem.Op{Target: mem.OffPackage, Addr: addr, Bytes: mem.LineBytes, Write: true, Class: mem.ClassReplacement, Stage: 1})
-	return mc.Result{Hit: false, Ops: ops}
+	a.ops = ops
+	return mc.Result{Hit: hit, Ops: ops}
 }
 
 // FillStats implements mc.Scheme.

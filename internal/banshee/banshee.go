@@ -114,6 +114,11 @@ type Banshee struct {
 	// leader group misses more; positive favors always-replace.
 	psel int
 
+	// res is the scratch Result reused by every Access (see the
+	// ownership note on mc.Result): steady-state accesses allocate
+	// nothing once the slices have grown to their working size.
+	res mc.Result
+
 	// Counters surfaced via FillStats.
 	remaps     uint64
 	flushes    uint64
@@ -230,10 +235,18 @@ func (b *Banshee) bufferFor(page uint64) *TagBuffer {
 
 // Access implements mc.Scheme.
 func (b *Banshee) Access(req mem.Request) mc.Result {
+	b.res.Hit = false
+	b.res.Ops = b.res.Ops[:0]
+	b.res.SW = b.res.SW[:0]
+	b.access(req, &b.res)
+	return b.res
+}
+
+// access is the Access body, appending into the caller-owned result.
+func (b *Banshee) access(req mem.Request, res *mc.Result) {
 	addr := mem.LineAddr(req.Addr)
 	page := b.pageOf(addr)
 	tb := b.bufferFor(page)
-	var res mc.Result
 
 	// Resolve the mapping: tag buffer overrides the request-carried
 	// PTE/TLB bits; dirty evictions may carry nothing and need a probe.
@@ -255,8 +268,8 @@ func (b *Banshee) Access(req mem.Request) mc.Result {
 	}
 
 	if req.Eviction {
-		b.handleEviction(addr, page, mapping, &res)
-		return res
+		b.handleEviction(addr, page, mapping, res)
+		return
 	}
 
 	// Demand access: the mapping tells us where the data is — no tag
@@ -283,13 +296,12 @@ func (b *Banshee) Access(req mem.Request) mc.Result {
 
 	switch b.cfg.Policy {
 	case LRUReplaceOnMiss:
-		b.lruPolicy(page, hit, &res)
+		b.lruPolicy(page, hit, res)
 	case SetDueling:
-		b.duelPolicy(page, hit, &res)
+		b.duelPolicy(page, hit, res)
 	default:
-		b.fbrPolicy(page, hit, &res)
+		b.fbrPolicy(page, hit, res)
 	}
-	return res
 }
 
 // Set-dueling constants: every duelPeriod-th set leads for FBR, the

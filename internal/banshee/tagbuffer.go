@@ -36,6 +36,10 @@ type TagBuffer struct {
 
 	remapCount int // live entries with remap set
 
+	// drained is the scratch slice DrainRemaps refills on each call,
+	// keeping the flush routine allocation-free in steady state.
+	drained []Remapped
+
 	hits, misses uint64
 }
 
@@ -151,9 +155,10 @@ type Remapped struct {
 
 // DrainRemaps returns all remapped entries and clears their remap bits.
 // Entries stay valid (and evictable) to keep serving dirty-eviction
-// lookups (§3.4).
+// lookups (§3.4). The returned slice is reused by the next drain; the
+// caller must consume it before draining again.
 func (tb *TagBuffer) DrainRemaps() []Remapped {
-	var out []Remapped
+	out := tb.drained[:0]
 	for s := range tb.sets {
 		set := tb.sets[s]
 		for i := range set {
@@ -164,6 +169,7 @@ func (tb *TagBuffer) DrainRemaps() []Remapped {
 		}
 	}
 	tb.remapCount = 0
+	tb.drained = out
 	return out
 }
 

@@ -41,6 +41,10 @@ type CAMEO struct {
 	slots []slot
 	mask  uint64
 
+	// ops is the scratch buffer reused by every Access (see the
+	// ownership note on mc.Result).
+	ops []mem.Op
+
 	hits, misses uint64
 	swaps        uint64
 }
@@ -60,6 +64,7 @@ func (c *CAMEO) Name() string { return "CAMEO" }
 
 // Access implements mc.Scheme.
 func (c *CAMEO) Access(req mem.Request) mc.Result {
+	c.ops = c.ops[:0]
 	addr := mem.LineAddr(req.Addr)
 	line := mem.LineNum(addr)
 	s := &c.slots[line&c.mask]
@@ -74,23 +79,22 @@ func (c *CAMEO) Access(req mem.Request) mc.Result {
 	if req.Eviction {
 		if resident {
 			s.dirty = true
-			return mc.Result{Hit: true, Ops: []mem.Op{
-				{Target: mem.InPackage, Addr: addr, Bytes: mem.LineBytes, Write: true, Class: mem.ClassHitData},
-			}}
+			c.ops = append(c.ops, mem.Op{Target: mem.InPackage, Addr: addr, Bytes: mem.LineBytes, Write: true, Class: mem.ClassHitData})
+			return mc.Result{Hit: true, Ops: c.ops}
 		}
-		return mc.Result{Hit: false, Ops: []mem.Op{
-			{Target: mem.OffPackage, Addr: addr, Bytes: mem.LineBytes, Write: true, Class: mem.ClassReplacement},
-		}}
+		c.ops = append(c.ops, mem.Op{Target: mem.OffPackage, Addr: addr, Bytes: mem.LineBytes, Write: true, Class: mem.ClassReplacement})
+		return mc.Result{Hit: false, Ops: c.ops}
 	}
 
 	if resident {
 		// Hit: data plus the LLT entry read together (CAMEO co-locates
 		// the LLT with the congruence group).
 		c.hits++
-		return mc.Result{Hit: true, Ops: []mem.Op{
-			{Target: mem.InPackage, Addr: addr, Bytes: mem.LineBytes, Class: mem.ClassHitData, Stage: 0, Critical: true},
-			{Target: mem.InPackage, Addr: addr, Bytes: lltBytes, Class: mem.ClassTag, Stage: 0, Critical: true, Fused: true},
-		}}
+		c.ops = append(c.ops,
+			mem.Op{Target: mem.InPackage, Addr: addr, Bytes: mem.LineBytes, Class: mem.ClassHitData, Stage: 0, Critical: true},
+			mem.Op{Target: mem.InPackage, Addr: addr, Bytes: lltBytes, Class: mem.ClassTag, Stage: 0, Critical: true, Fused: true},
+		)
+		return mc.Result{Hit: true, Ops: c.ops}
 	}
 
 	// Miss: consult the LLT (in-package, critical), fetch the line from
@@ -99,23 +103,23 @@ func (c *CAMEO) Access(req mem.Request) mc.Result {
 	// LLT updated.
 	c.misses++
 	c.swaps++
-	ops := []mem.Op{
-		{Target: mem.InPackage, Addr: addr, Bytes: lltBytes, Class: mem.ClassTag, Stage: 0, Critical: true},
-		{Target: mem.OffPackage, Addr: addr, Bytes: mem.LineBytes, Class: mem.ClassMissData, Stage: 1, Critical: true},
-	}
+	c.ops = append(c.ops,
+		mem.Op{Target: mem.InPackage, Addr: addr, Bytes: lltBytes, Class: mem.ClassTag, Stage: 0, Critical: true},
+		mem.Op{Target: mem.OffPackage, Addr: addr, Bytes: mem.LineBytes, Class: mem.ClassMissData, Stage: 1, Critical: true},
+	)
 	if s.valid {
 		old := mem.LineBase(s.occupant)
-		ops = append(ops,
+		c.ops = append(c.ops,
 			mem.Op{Target: mem.InPackage, Addr: old, Bytes: mem.LineBytes, Class: mem.ClassReplacement, Stage: 1},
 			mem.Op{Target: mem.OffPackage, Addr: old, Bytes: mem.LineBytes, Write: true, Class: mem.ClassReplacement, Stage: 1},
 		)
 	}
-	ops = append(ops,
+	c.ops = append(c.ops,
 		mem.Op{Target: mem.InPackage, Addr: addr, Bytes: mem.LineBytes, Write: true, Class: mem.ClassReplacement, Stage: 1},
 		mem.Op{Target: mem.InPackage, Addr: addr, Bytes: lltBytes, Write: true, Class: mem.ClassTag, Stage: 1, Fused: true},
 	)
 	*s = slot{occupant: line, valid: true}
-	return mc.Result{Hit: false, Ops: ops}
+	return mc.Result{Hit: false, Ops: c.ops}
 }
 
 // FillStats implements mc.Scheme.

@@ -192,3 +192,17 @@ func TestKernelSpatialCharacter(t *testing.T) {
 		t.Fatalf("edge scan sequentiality %.2f too low", float64(seqEdges)/float64(edgeRefs))
 	}
 }
+
+// TestGraphCacheShared verifies the seed-keyed substrate cache: equal
+// configs return the same immutable instance, distinct seeds do not.
+func TestGraphCacheShared(t *testing.T) {
+	cfg := Config{Vertices: 512, AvgDegree: 4, Skew: 0.7, Seed: 99}
+	a, b := New(cfg), New(cfg)
+	if a != b {
+		t.Fatal("identical configs built two graphs")
+	}
+	cfg.Seed = 100
+	if New(cfg) == a {
+		t.Fatal("different seed shared a graph")
+	}
+}

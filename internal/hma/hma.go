@@ -55,6 +55,11 @@ type HMA struct {
 	counts   map[uint64]uint64 // epoch access counts
 	accesses uint64
 
+	// ops and sw are the scratch buffers reused by every Access (see
+	// the ownership note on mc.Result).
+	ops []mem.Op
+	sw  []mc.SWCost
+
 	hits, misses uint64
 	epochs       uint64
 	moves        uint64
@@ -82,6 +87,8 @@ func (h *HMA) Name() string { return "HMA" }
 
 // Access implements mc.Scheme.
 func (h *HMA) Access(req mem.Request) mc.Result {
+	h.ops = h.ops[:0]
+	h.sw = h.sw[:0]
 	addr := mem.LineAddr(req.Addr)
 	page := mem.PageNum(addr)
 	r := h.cached[page]
@@ -89,44 +96,37 @@ func (h *HMA) Access(req mem.Request) mc.Result {
 	if req.Eviction {
 		if r != nil {
 			r.dirty = true
-			return mc.Result{Hit: true, Ops: []mem.Op{
-				{Target: mem.InPackage, Addr: addr, Bytes: mem.LineBytes, Write: true, Class: mem.ClassHitData},
-			}}
+			h.ops = append(h.ops, mem.Op{Target: mem.InPackage, Addr: addr, Bytes: mem.LineBytes, Write: true, Class: mem.ClassHitData})
+			return mc.Result{Hit: true, Ops: h.ops}
 		}
-		return mc.Result{Hit: false, Ops: []mem.Op{
-			{Target: mem.OffPackage, Addr: addr, Bytes: mem.LineBytes, Write: true, Class: mem.ClassReplacement},
-		}}
+		h.ops = append(h.ops, mem.Op{Target: mem.OffPackage, Addr: addr, Bytes: mem.LineBytes, Write: true, Class: mem.ClassReplacement})
+		return mc.Result{Hit: false, Ops: h.ops}
 	}
 
 	h.counts[page]++
 	h.accesses++
-	var res mc.Result
-	if r != nil {
+	hit := r != nil
+	if hit {
 		h.hits++
-		res = mc.Result{Hit: true, Ops: []mem.Op{
-			{Target: mem.InPackage, Addr: addr, Bytes: mem.LineBytes, Class: mem.ClassHitData, Stage: 0, Critical: true},
-		}}
+		h.ops = append(h.ops, mem.Op{Target: mem.InPackage, Addr: addr, Bytes: mem.LineBytes, Class: mem.ClassHitData, Stage: 0, Critical: true})
 	} else {
 		// Mapping is in the PTE: the miss goes straight off-package with
 		// no probe traffic (Table 1: miss traffic 0 B extra).
 		h.misses++
-		res = mc.Result{Hit: false, Ops: []mem.Op{
-			{Target: mem.OffPackage, Addr: addr, Bytes: mem.LineBytes, Class: mem.ClassMissData, Stage: 0, Critical: true},
-		}}
+		h.ops = append(h.ops, mem.Op{Target: mem.OffPackage, Addr: addr, Bytes: mem.LineBytes, Class: mem.ClassMissData, Stage: 0, Critical: true})
 	}
 	if h.accesses >= h.cfg.EpochAccesses {
 		h.accesses = 0
-		ops, sw := h.epoch()
-		res.Ops = append(res.Ops, ops...)
-		res.SW = append(res.SW, sw)
+		h.sw = append(h.sw, h.epoch())
 	}
-	return res
+	return mc.Result{Hit: hit, Ops: h.ops, SW: h.sw}
 }
 
 // epoch runs the software remap: rank pages by epoch count, make the top
-// `capacity` resident, move the deltas, and charge the stop-the-world
-// cost.
-func (h *HMA) epoch() ([]mem.Op, mc.SWCost) {
+// `capacity` resident, move the deltas (appended to h.ops), and charge
+// the stop-the-world cost. Epochs are rare (every EpochAccesses), so
+// their ranking allocations don't affect the steady-state access path.
+func (h *HMA) epoch() mc.SWCost {
 	h.epochs++
 	type pc struct {
 		page  uint64
@@ -157,7 +157,6 @@ func (h *HMA) epoch() ([]mem.Op, mc.SWCost) {
 		want[ranked[i].page] = true
 	}
 
-	var ops []mem.Op
 	moves := uint64(0)
 	for p, r := range h.cached {
 		if want[p] {
@@ -166,7 +165,7 @@ func (h *HMA) epoch() ([]mem.Op, mc.SWCost) {
 		// Move out; dirty pages stream back to off-package memory.
 		if r.dirty {
 			a := mem.PageBase(p)
-			ops = append(ops,
+			h.ops = append(h.ops,
 				mem.Op{Target: mem.InPackage, Addr: a, Bytes: mem.PageBytes, Class: mem.ClassReplacement},
 				mem.Op{Target: mem.OffPackage, Addr: a, Bytes: mem.PageBytes, Write: true, Class: mem.ClassReplacement},
 			)
@@ -179,7 +178,7 @@ func (h *HMA) epoch() ([]mem.Op, mc.SWCost) {
 			continue
 		}
 		a := mem.PageBase(p)
-		ops = append(ops,
+		h.ops = append(h.ops,
 			mem.Op{Target: mem.OffPackage, Addr: a, Bytes: mem.PageBytes, Class: mem.ClassReplacement},
 			mem.Op{Target: mem.InPackage, Addr: a, Bytes: mem.PageBytes, Write: true, Class: mem.ClassReplacement},
 		)
@@ -188,8 +187,8 @@ func (h *HMA) epoch() ([]mem.Op, mc.SWCost) {
 	}
 	h.moves += moves
 	// Epoch counters reset: HMA only sees per-epoch history.
-	h.counts = make(map[uint64]uint64)
-	return ops, mc.SWCost{
+	clear(h.counts)
+	return mc.SWCost{
 		AllCoresCycles: h.cfg.FixedEpochCycles + moves*h.cfg.PerPageMoveCycles,
 	}
 }

@@ -26,6 +26,12 @@ type SWCost struct {
 }
 
 // Result is a scheme's answer for one request.
+//
+// Ownership: Ops and SW may alias a scratch buffer owned by the scheme,
+// reused on the next Access call — this is what makes the steady-state
+// access path allocation-free. Callers must consume (or copy) a Result
+// before calling Access on the same scheme again, and must not retain
+// its slices. The simulator's execute path and all tests obey this.
 type Result struct {
 	// Hit reports whether the demanded data was served by the
 	// in-package DRAM (counts toward DRAM-cache hit rate; ignored for
@@ -44,7 +50,8 @@ type Scheme interface {
 	Name() string
 	// Access handles one LLC miss (demand) or LLC dirty eviction
 	// (req.Eviction). Implementations must be deterministic given their
-	// construction seed.
+	// construction seed. The returned Result is valid only until the
+	// next Access call (see Result's ownership note).
 	Access(req mem.Request) Result
 	// FillStats merges scheme-internal counters into s at end of run.
 	FillStats(s *stats.Sim)

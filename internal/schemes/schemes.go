@@ -11,8 +11,12 @@ import (
 	"banshee/internal/stats"
 )
 
-// NoCache sends every LLC miss to off-package DRAM.
-type NoCache struct{}
+// NoCache sends every LLC miss to off-package DRAM. The one-op scratch
+// array keeps Access allocation-free (see the ownership note on
+// mc.Result).
+type NoCache struct {
+	op [1]mem.Op
+}
 
 // NewNoCache returns the NoCache scheme.
 func NewNoCache() *NoCache { return &NoCache{} }
@@ -21,18 +25,20 @@ func NewNoCache() *NoCache { return &NoCache{} }
 func (*NoCache) Name() string { return "NoCache" }
 
 // Access implements mc.Scheme.
-func (*NoCache) Access(req mem.Request) mc.Result {
+func (n *NoCache) Access(req mem.Request) mc.Result {
 	a := mem.LineAddr(req.Addr)
 	if req.Eviction {
-		return mc.Result{Ops: []mem.Op{{
+		n.op[0] = mem.Op{
 			Target: mem.OffPackage, Addr: a, Bytes: mem.LineBytes,
 			Write: true, Class: mem.ClassReplacement,
-		}}}
+		}
+	} else {
+		n.op[0] = mem.Op{
+			Target: mem.OffPackage, Addr: a, Bytes: mem.LineBytes,
+			Class: mem.ClassMissData, Critical: true,
+		}
 	}
-	return mc.Result{Ops: []mem.Op{{
-		Target: mem.OffPackage, Addr: a, Bytes: mem.LineBytes,
-		Class: mem.ClassMissData, Critical: true,
-	}}}
+	return mc.Result{Ops: n.op[:]}
 }
 
 // FillStats implements mc.Scheme.
@@ -41,7 +47,9 @@ func (*NoCache) FillStats(*stats.Sim) {}
 // CacheOnly serves every access from in-package DRAM: the system has no
 // external DRAM at all (so its *total* bandwidth is lower than a cached
 // system's, which is why some workloads beat it — §5.2).
-type CacheOnly struct{}
+type CacheOnly struct {
+	op [1]mem.Op
+}
 
 // NewCacheOnly returns the CacheOnly scheme.
 func NewCacheOnly() *CacheOnly { return &CacheOnly{} }
@@ -50,18 +58,20 @@ func NewCacheOnly() *CacheOnly { return &CacheOnly{} }
 func (*CacheOnly) Name() string { return "CacheOnly" }
 
 // Access implements mc.Scheme.
-func (*CacheOnly) Access(req mem.Request) mc.Result {
+func (c *CacheOnly) Access(req mem.Request) mc.Result {
 	a := mem.LineAddr(req.Addr)
 	if req.Eviction {
-		return mc.Result{Hit: true, Ops: []mem.Op{{
+		c.op[0] = mem.Op{
 			Target: mem.InPackage, Addr: a, Bytes: mem.LineBytes,
 			Write: true, Class: mem.ClassHitData,
-		}}}
+		}
+	} else {
+		c.op[0] = mem.Op{
+			Target: mem.InPackage, Addr: a, Bytes: mem.LineBytes,
+			Class: mem.ClassHitData, Critical: true,
+		}
 	}
-	return mc.Result{Hit: true, Ops: []mem.Op{{
-		Target: mem.InPackage, Addr: a, Bytes: mem.LineBytes,
-		Class: mem.ClassHitData, Critical: true,
-	}}}
+	return mc.Result{Hit: true, Ops: c.op[:]}
 }
 
 // FillStats implements mc.Scheme.

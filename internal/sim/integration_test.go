@@ -43,6 +43,23 @@ func TestHierarchyFiltering(t *testing.T) {
 	if st.LLCMisses > st.LLCAccesses {
 		t.Fatal("more LLC misses than accesses")
 	}
+	// Per-level miss counters: an L1 miss is exactly an L2 access and an
+	// L2 miss exactly an LLC access (no prefetcher in this config), and
+	// misses can never exceed accesses at their own level.
+	if st.L1Misses == 0 || st.L2Misses == 0 {
+		t.Fatalf("miss counters not wired: L1Misses=%d L2Misses=%d",
+			st.L1Misses, st.L2Misses)
+	}
+	if st.L1Misses != st.L2Accesses {
+		t.Fatalf("L1 misses %d != L2 accesses %d", st.L1Misses, st.L2Accesses)
+	}
+	if st.L2Misses != st.LLCAccesses {
+		t.Fatalf("L2 misses %d != LLC accesses %d", st.L2Misses, st.LLCAccesses)
+	}
+	if st.L1Misses > st.L1Accesses || st.L2Misses > st.L2Accesses {
+		t.Fatalf("misses exceed accesses: L1 %d/%d L2 %d/%d",
+			st.L1Misses, st.L1Accesses, st.L2Misses, st.L2Accesses)
+	}
 }
 
 func TestWriteWorkloadProducesEvictions(t *testing.T) {

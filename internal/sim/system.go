@@ -22,6 +22,7 @@ type core struct {
 	fract   int    // sub-cycle instruction remainder at IssueWidth
 
 	outstanding []uint64 // completion times of in-flight LLC misses
+	outMin      uint64   // running min of outstanding (valid when non-empty)
 	retired     uint64   // instructions retired
 	done        bool
 
@@ -186,6 +187,7 @@ func (s *System) step(c *core) {
 	// out-of-order window hides them); only LLC misses are timed.
 	s.st.L1Accesses++
 	if hit, ev1 := c.l1.Access(ev.Addr, ev.Write, meta); !hit {
+		s.st.L1Misses++
 		if ev1 != nil {
 			s.fillL2(c, ev1.Addr, true, ev1.Meta)
 		}
@@ -196,6 +198,7 @@ func (s *System) step(c *core) {
 			}
 		}
 		if hit2, ev2 := c.l2.Access(ev.Addr, false, meta); !hit2 {
+			s.st.L2Misses++
 			if ev2 != nil {
 				s.fillL3(c, ev2.Addr, true, ev2.Meta)
 			}
@@ -206,8 +209,6 @@ func (s *System) step(c *core) {
 				}
 				s.llcMiss(c, ev.Addr, ev.Write, pte)
 			}
-		} else {
-			s.st.L2Misses += 0 // L2 hit
 		}
 	}
 }
@@ -246,17 +247,12 @@ func (s *System) evictToMC(c *core, ev *cache.Eviction) {
 func (s *System) llcMiss(c *core, a mem.Addr, write bool, pte vm.PTE) {
 	s.st.LLCMisses++
 	// Retire completed misses; if the window is full, stall to the
-	// earliest completion.
+	// earliest completion. drain keeps outMin current, so the stall
+	// target is O(1) instead of a scan over the MSHR window.
 	c.drain()
 	if len(c.outstanding) >= s.cfg.MSHRs {
-		earliest := c.outstanding[0]
-		for _, t := range c.outstanding[1:] {
-			if t < earliest {
-				earliest = t
-			}
-		}
-		if earliest > c.time {
-			c.time = earliest
+		if c.outMin > c.time {
+			c.time = c.outMin
 		}
 		c.drain()
 	}
@@ -280,19 +276,28 @@ func (s *System) llcMiss(c *core, a mem.Addr, write bool, pte vm.PTE) {
 			c.time = completion
 		}
 	} else {
+		if len(c.outstanding) == 0 || completion < c.outMin {
+			c.outMin = completion
+		}
 		c.outstanding = append(c.outstanding, completion)
 	}
 }
 
-// drain retires outstanding misses that completed by the core's clock.
+// drain retires outstanding misses that completed by the core's clock,
+// tracking the running minimum of the survivors for llcMiss's stall.
 func (c *core) drain() {
 	out := c.outstanding[:0]
+	min := ^uint64(0)
 	for _, t := range c.outstanding {
 		if t > c.time {
 			out = append(out, t)
+			if t < min {
+				min = t
+			}
 		}
 	}
 	c.outstanding = out
+	c.outMin = min
 }
 
 // execute runs a request through the scheme and times its DRAM ops,

@@ -43,6 +43,10 @@ type TDC struct {
 	count     uint64
 	footprint mc.FootprintTracker
 
+	// ops is the scratch buffer reused by every Access (see the
+	// ownership note on mc.Result).
+	ops []mem.Op
+
 	hits, misses uint64
 	fills        uint64
 }
@@ -65,6 +69,7 @@ func (t *TDC) Name() string { return "TDC" }
 
 // Access implements mc.Scheme.
 func (t *TDC) Access(req mem.Request) mc.Result {
+	t.ops = t.ops[:0]
 	addr := mem.LineAddr(req.Addr)
 	page := mem.PageNum(addr)
 	e := t.pages[page]
@@ -75,43 +80,38 @@ func (t *TDC) Access(req mem.Request) mc.Result {
 		if e != nil {
 			e.touched.Set(li)
 			e.dirty.Set(li)
-			return mc.Result{Hit: true, Ops: []mem.Op{
-				{Target: mem.InPackage, Addr: addr, Bytes: mem.LineBytes, Write: true, Class: mem.ClassHitData},
-			}}
+			t.ops = append(t.ops, mem.Op{Target: mem.InPackage, Addr: addr, Bytes: mem.LineBytes, Write: true, Class: mem.ClassHitData})
+			return mc.Result{Hit: true, Ops: t.ops}
 		}
-		return mc.Result{Hit: false, Ops: []mem.Op{
-			{Target: mem.OffPackage, Addr: addr, Bytes: mem.LineBytes, Write: true, Class: mem.ClassReplacement},
-		}}
+		t.ops = append(t.ops, mem.Op{Target: mem.OffPackage, Addr: addr, Bytes: mem.LineBytes, Write: true, Class: mem.ClassReplacement})
+		return mc.Result{Hit: false, Ops: t.ops}
 	}
 
 	if e != nil {
 		t.hits++
 		e.touched.Set(li)
-		return mc.Result{Hit: true, Ops: []mem.Op{
-			{Target: mem.InPackage, Addr: addr, Bytes: mem.LineBytes, Class: mem.ClassHitData, Stage: 0, Critical: true},
-		}}
+		t.ops = append(t.ops, mem.Op{Target: mem.InPackage, Addr: addr, Bytes: mem.LineBytes, Class: mem.ClassHitData, Stage: 0, Critical: true})
+		return mc.Result{Hit: true, Ops: t.ops}
 	}
 
 	// Miss: demand line from off-package, then replace on every miss.
 	t.misses++
-	ops := []mem.Op{
-		{Target: mem.OffPackage, Addr: addr, Bytes: mem.LineBytes, Class: mem.ClassMissData, Stage: 0, Critical: true},
-	}
-	ops = append(ops, t.insert(page, addr)...)
-	return mc.Result{Hit: false, Ops: ops}
+	t.ops = append(t.ops, mem.Op{Target: mem.OffPackage, Addr: addr, Bytes: mem.LineBytes, Class: mem.ClassMissData, Stage: 0, Critical: true})
+	t.insert(page, addr)
+	return mc.Result{Hit: false, Ops: t.ops}
 }
 
-// insert places a page, evicting the FIFO head if full; returns the
-// background replacement ops.
-func (t *TDC) insert(page uint64, demand mem.Addr) []mem.Op {
-	var ops []mem.Op
+// insert places a page, evicting the FIFO head if full, appending the
+// background replacement ops to t.ops.
+func (t *TDC) insert(page uint64, demand mem.Addr) {
+	var e *entry
 	if len(t.fifo) >= t.capacity {
 		victim := t.fifo[t.head]
 		ve := t.pages[victim]
 		t.footprint.Record(ve.touched.Count())
 		if n := ve.dirty.Count(); n > 0 {
 			va := mem.PageBase(victim)
-			ops = append(ops,
+			t.ops = append(t.ops,
 				mem.Op{Target: mem.InPackage, Addr: va, Bytes: n * mem.LineBytes, Class: mem.ClassReplacement, Stage: 1},
 				mem.Op{Target: mem.OffPackage, Addr: va, Bytes: n * mem.LineBytes, Write: true, Class: mem.ClassReplacement, Stage: 1},
 			)
@@ -119,20 +119,23 @@ func (t *TDC) insert(page uint64, demand mem.Addr) []mem.Op {
 		delete(t.pages, victim)
 		t.fifo[t.head] = page
 		t.head = (t.head + 1) % t.capacity
+		// Recycle the victim's entry for the incoming page: once at
+		// capacity, the pages map stops allocating.
+		e = ve
 	} else {
 		t.fifo = append(t.fifo, page)
+		e = &entry{}
 	}
 	fp := t.footprint.Lines()
 	if fill := (fp - 1) * mem.LineBytes; fill > 0 {
-		ops = append(ops, mem.Op{Target: mem.OffPackage, Addr: demand, Bytes: fill, Class: mem.ClassReplacement, Stage: 1})
+		t.ops = append(t.ops, mem.Op{Target: mem.OffPackage, Addr: demand, Bytes: fill, Class: mem.ClassReplacement, Stage: 1})
 	}
-	ops = append(ops, mem.Op{Target: mem.InPackage, Addr: demand, Bytes: fp * mem.LineBytes, Write: true, Class: mem.ClassReplacement, Stage: 1})
+	t.ops = append(t.ops, mem.Op{Target: mem.InPackage, Addr: demand, Bytes: fp * mem.LineBytes, Write: true, Class: mem.ClassReplacement, Stage: 1})
 	t.count++
 	t.fills++
-	e := &entry{fifoPos: t.count}
+	*e = entry{fifoPos: t.count}
 	e.touched.Set(mem.LineInPage(demand))
 	t.pages[page] = e
-	return ops
 }
 
 // FillStats implements mc.Scheme.

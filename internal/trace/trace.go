@@ -15,6 +15,13 @@
 // non-memory instructions; the simulator replays them through the SRAM
 // hierarchy, so DRAM-level behavior emerges from the modeled caches
 // rather than being baked into the trace.
+//
+// Workload construction rides the shared substrate caches: Zipf alias
+// tables are cached process-wide by (support, exponent) in util, and
+// kernel-workload graphs by their full seed-keyed config in graph, so
+// repeated runs (sweeps, tests, benchmarks) regenerate neither. Only
+// the cheap per-run state — RNG streams, cursors, kernel walkers — is
+// built per Workload.
 package trace
 
 import (

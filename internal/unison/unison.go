@@ -43,6 +43,10 @@ type Unison struct {
 	tick      uint64
 	footprint mc.FootprintTracker
 
+	// ops is the scratch buffer reused by every Access (see the
+	// ownership note on mc.Result).
+	ops []mem.Op
+
 	hits, misses uint64
 	fills        uint64
 	tagProbes    uint64
@@ -89,6 +93,7 @@ func popcount(x uint64) int {
 
 // Access implements mc.Scheme.
 func (u *Unison) Access(req mem.Request) mc.Result {
+	u.ops = u.ops[:0]
 	u.tick++
 	addr := mem.LineAddr(req.Addr)
 	page := mem.PageNum(addr)
@@ -103,28 +108,29 @@ func (u *Unison) Access(req mem.Request) mc.Result {
 		u.hits++
 		set[idx].stamp = u.tick
 		set[idx].touched.Set(mem.LineInPage(addr))
-		return mc.Result{Hit: true, Ops: []mem.Op{
-			{Target: mem.InPackage, Addr: addr, Bytes: mem.LineBytes, Class: mem.ClassHitData, Stage: 0, Critical: true},
-			{Target: mem.InPackage, Addr: addr, Bytes: tagBytes, Class: mem.ClassTag, Stage: 0, Critical: true, Fused: true},
-			{Target: mem.InPackage, Addr: addr, Bytes: tagBytes, Write: true, Class: mem.ClassTag, Stage: 1},
-		}}
+		u.ops = append(u.ops,
+			mem.Op{Target: mem.InPackage, Addr: addr, Bytes: mem.LineBytes, Class: mem.ClassHitData, Stage: 0, Critical: true},
+			mem.Op{Target: mem.InPackage, Addr: addr, Bytes: tagBytes, Class: mem.ClassTag, Stage: 0, Critical: true, Fused: true},
+			mem.Op{Target: mem.InPackage, Addr: addr, Bytes: tagBytes, Write: true, Class: mem.ClassTag, Stage: 1},
+		)
+		return mc.Result{Hit: true, Ops: u.ops}
 	}
 
 	// Miss: the predicted-way data read was speculative and wasted;
 	// fetch the demand line off-package, then replace the LRU page.
 	u.misses++
-	ops := []mem.Op{
-		{Target: mem.InPackage, Addr: addr, Bytes: mem.LineBytes, Class: mem.ClassMissData, Stage: 0, Critical: true},
-		{Target: mem.InPackage, Addr: addr, Bytes: tagBytes, Class: mem.ClassTag, Stage: 0, Critical: true, Fused: true},
-		{Target: mem.OffPackage, Addr: addr, Bytes: mem.LineBytes, Class: mem.ClassMissData, Stage: 1, Critical: true},
-	}
-	ops = append(ops, u.replace(set, tag, addr)...)
-	return mc.Result{Hit: false, Ops: ops}
+	u.ops = append(u.ops,
+		mem.Op{Target: mem.InPackage, Addr: addr, Bytes: mem.LineBytes, Class: mem.ClassMissData, Stage: 0, Critical: true},
+		mem.Op{Target: mem.InPackage, Addr: addr, Bytes: tagBytes, Class: mem.ClassTag, Stage: 0, Critical: true, Fused: true},
+		mem.Op{Target: mem.OffPackage, Addr: addr, Bytes: mem.LineBytes, Class: mem.ClassMissData, Stage: 1, Critical: true},
+	)
+	u.replace(set, tag, addr)
+	return mc.Result{Hit: false, Ops: u.ops}
 }
 
 // replace evicts the LRU way and fills the new page's predicted
-// footprint; returns the background ops.
-func (u *Unison) replace(set []way, tag uint64, demand mem.Addr) []mem.Op {
+// footprint, appending the background ops to u.ops.
+func (u *Unison) replace(set []way, tag uint64, demand mem.Addr) {
 	victim := 0
 	for i := 1; i < len(set); i++ {
 		if !set[i].valid {
@@ -135,14 +141,13 @@ func (u *Unison) replace(set []way, tag uint64, demand mem.Addr) []mem.Op {
 			victim = i
 		}
 	}
-	var ops []mem.Op
 	v := &set[victim]
 	if v.valid {
 		u.footprint.Record(v.touched.Count())
 		if n := v.dirty.Count(); n > 0 {
 			// Dirty lines stream out: in-package read + off-package write.
 			victimAddr := u.wayAddr(demand, v.tag)
-			ops = append(ops,
+			u.ops = append(u.ops,
 				mem.Op{Target: mem.InPackage, Addr: victimAddr, Bytes: n * mem.LineBytes, Class: mem.ClassReplacement, Stage: 1},
 				mem.Op{Target: mem.OffPackage, Addr: victimAddr, Bytes: n * mem.LineBytes, Write: true, Class: mem.ClassReplacement, Stage: 1},
 			)
@@ -153,9 +158,9 @@ func (u *Unison) replace(set []way, tag uint64, demand mem.Addr) []mem.Op {
 	fp := u.footprint.Lines()
 	fill := (fp - 1) * mem.LineBytes
 	if fill > 0 {
-		ops = append(ops, mem.Op{Target: mem.OffPackage, Addr: demand, Bytes: fill, Class: mem.ClassReplacement, Stage: 1})
+		u.ops = append(u.ops, mem.Op{Target: mem.OffPackage, Addr: demand, Bytes: fill, Class: mem.ClassReplacement, Stage: 1})
 	}
-	ops = append(ops,
+	u.ops = append(u.ops,
 		mem.Op{Target: mem.InPackage, Addr: demand, Bytes: fp * mem.LineBytes, Write: true, Class: mem.ClassReplacement, Stage: 1},
 		mem.Op{Target: mem.InPackage, Addr: demand, Bytes: tagBytes, Write: true, Class: mem.ClassTag, Stage: 1, Fused: true},
 	)
@@ -163,7 +168,6 @@ func (u *Unison) replace(set []way, tag uint64, demand mem.Addr) []mem.Op {
 	var t mc.Touched
 	t.Set(mem.LineInPage(demand))
 	*v = way{tag: tag, valid: true, stamp: u.tick, touched: t}
-	return ops
 }
 
 // wayAddr reconstructs a resident page's base address from its tag and
@@ -177,18 +181,16 @@ func (u *Unison) wayAddr(sameSet mem.Addr, tag uint64) mem.Addr {
 // write to whichever DRAM owns the line.
 func (u *Unison) eviction(addr mem.Addr, set []way, idx int) mc.Result {
 	u.tagProbes++
-	ops := []mem.Op{
-		{Target: mem.InPackage, Addr: addr, Bytes: tagBytes, Class: mem.ClassTag, Stage: 0},
-	}
+	u.ops = append(u.ops, mem.Op{Target: mem.InPackage, Addr: addr, Bytes: tagBytes, Class: mem.ClassTag, Stage: 0})
 	if idx >= 0 {
 		li := mem.LineInPage(addr)
 		set[idx].touched.Set(li)
 		set[idx].dirty.Set(li)
-		ops = append(ops, mem.Op{Target: mem.InPackage, Addr: addr, Bytes: mem.LineBytes, Write: true, Class: mem.ClassHitData, Stage: 1})
-		return mc.Result{Hit: true, Ops: ops}
+		u.ops = append(u.ops, mem.Op{Target: mem.InPackage, Addr: addr, Bytes: mem.LineBytes, Write: true, Class: mem.ClassHitData, Stage: 1})
+		return mc.Result{Hit: true, Ops: u.ops}
 	}
-	ops = append(ops, mem.Op{Target: mem.OffPackage, Addr: addr, Bytes: mem.LineBytes, Write: true, Class: mem.ClassReplacement, Stage: 1})
-	return mc.Result{Hit: false, Ops: ops}
+	u.ops = append(u.ops, mem.Op{Target: mem.OffPackage, Addr: addr, Bytes: mem.LineBytes, Write: true, Class: mem.ClassReplacement, Stage: 1})
+	return mc.Result{Hit: false, Ops: u.ops}
 }
 
 // FillStats implements mc.Scheme.

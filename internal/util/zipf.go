@@ -1,52 +1,67 @@
 package util
 
-import "math"
-
 // Zipf samples from a Zipfian (power-law) distribution over [0, n).
 // Element rank k is drawn with probability proportional to 1/(k+1)^s.
 // Graph-analytics and many irregular SPEC workloads exhibit Zipfian page
 // reuse, which is exactly the skew that frequency-based replacement
 // exploits, so the quality of this sampler matters for fidelity.
 //
-// The implementation inverts the CDF with a precomputed table plus binary
-// search. For the table sizes used by the trace generators (≤ a few million
-// pages) construction is linear and sampling is O(log n).
+// A Zipf is a thin pairing of a deterministic RNG stream with the
+// shared, immutable alias table for (n, s) (see ZipfTable): drawing is
+// O(1) per sample, and the expensive table construction is cached
+// process-wide so repeated runs (sweeps, tests, benchmarks) pay it
+// once. The previous CDF-inversion sampler is preserved as ZipfCDF for
+// fidelity cross-checks.
 type Zipf struct {
-	rng *RNG
-	cdf []float64
-	n   int
+	rng   *RNG
+	table *ZipfTable
 }
 
 // NewZipf builds a sampler over [0, n) with exponent s > 0.
 // It panics if n <= 0 or s < 0.
 func NewZipf(rng *RNG, n int, s float64) *Zipf {
-	if n <= 0 {
-		panic("util: NewZipf called with n <= 0")
-	}
-	if s < 0 {
-		panic("util: NewZipf called with s < 0")
-	}
-	cdf := make([]float64, n)
-	sum := 0.0
-	for k := 0; k < n; k++ {
-		sum += 1.0 / math.Pow(float64(k+1), s)
-		cdf[k] = sum
-	}
-	inv := 1.0 / sum
-	for k := range cdf {
-		cdf[k] *= inv
-	}
-	cdf[n-1] = 1.0 // guard against floating-point shortfall
-	return &Zipf{rng: rng, cdf: cdf, n: n}
+	return &Zipf{rng: rng, table: TableFor(n, s)}
 }
 
 // N returns the support size.
-func (z *Zipf) N() int { return z.n }
+func (z *Zipf) N() int { return z.table.N() }
 
 // Next draws the next rank in [0, n). Rank 0 is the hottest element.
-func (z *Zipf) Next() int {
+func (z *Zipf) Next() int { return z.table.Sample(z.rng) }
+
+// Prob returns the probability mass of rank k (diagnostic; used by tests).
+func (z *Zipf) Prob(k int) float64 { return z.table.Prob(k) }
+
+// ZipfCDF is the original O(log n) CDF-inversion sampler, retained as
+// the reference implementation: it draws from the identical PMF as the
+// alias-method Zipf (over a different mapping of the RNG stream), so
+// distribution-level tests can cross-check the two.
+type ZipfCDF struct {
+	rng *RNG
+	cdf []float64
+	n   int
+}
+
+// NewZipfCDF builds a CDF-inversion sampler over [0, n) with exponent
+// s > 0. It panics if n <= 0 or s < 0.
+func NewZipfCDF(rng *RNG, n int, s float64) *ZipfCDF {
+	t := TableFor(n, s) // shares the cached exact PMF
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += t.Prob(k)
+		cdf[k] = sum
+	}
+	cdf[n-1] = 1.0 // guard against floating-point shortfall
+	return &ZipfCDF{rng: rng, cdf: cdf, n: n}
+}
+
+// N returns the support size.
+func (z *ZipfCDF) N() int { return z.n }
+
+// Next draws the next rank in [0, n) by binary-searching the CDF.
+func (z *ZipfCDF) Next() int {
 	u := z.rng.Float64()
-	// Binary search for the first cdf entry >= u.
 	lo, hi := 0, z.n-1
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -59,8 +74,8 @@ func (z *Zipf) Next() int {
 	return lo
 }
 
-// Prob returns the probability mass of rank k (diagnostic; used by tests).
-func (z *Zipf) Prob(k int) float64 {
+// Prob returns the probability mass of rank k.
+func (z *ZipfCDF) Prob(k int) float64 {
 	if k < 0 || k >= z.n {
 		return 0
 	}

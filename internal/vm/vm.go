@@ -151,9 +151,12 @@ type tlbEntry struct {
 
 // TLB is one core's translation lookaside buffer (fully associative,
 // LRU). Sized generously by default; TLB miss *timing* is modeled by the
-// simulator via WalkCycles.
+// simulator via WalkCycles. An index map makes the (hot) hit path O(1)
+// instead of a scan over all entries; the LRU victim scan only runs on
+// misses, which the modeled hit rate makes rare.
 type TLB struct {
 	entries []tlbEntry
+	index   map[uint64]int // vpage key → slot, mirrors valid entries
 	tick    uint64
 
 	Hits, Misses uint64
@@ -165,7 +168,7 @@ func NewTLB(n int) *TLB {
 	if n <= 0 {
 		panic(fmt.Sprintf("vm: TLB size must be positive, got %d", n))
 	}
-	return &TLB{entries: make([]tlbEntry, n)}
+	return &TLB{entries: make([]tlbEntry, n), index: make(map[uint64]int, n)}
 }
 
 func (t *TLB) keyFor(vaddr mem.Addr, pt *PageTable) uint64 {
@@ -181,12 +184,10 @@ func (t *TLB) keyFor(vaddr mem.Addr, pt *PageTable) uint64 {
 func (t *TLB) Lookup(vaddr mem.Addr, pt *PageTable) (PTE, bool) {
 	t.tick++
 	key := t.keyFor(vaddr, pt)
-	for i := range t.entries {
-		if t.entries[i].valid && t.entries[i].vpage == key {
-			t.entries[i].stamp = t.tick
-			t.Hits++
-			return t.entries[i].pte, true
-		}
+	if i, ok := t.index[key]; ok {
+		t.entries[i].stamp = t.tick
+		t.Hits++
+		return t.entries[i].pte, true
 	}
 	t.Misses++
 	pte := *pt.Translate(vaddr) // snapshot the current PTE content
@@ -200,7 +201,11 @@ func (t *TLB) Lookup(vaddr mem.Addr, pt *PageTable) (PTE, bool) {
 			victim = i
 		}
 	}
+	if t.entries[victim].valid {
+		delete(t.index, t.entries[victim].vpage)
+	}
 	t.entries[victim] = tlbEntry{vpage: key, pte: pte, stamp: t.tick, valid: true}
+	t.index[key] = victim
 	return pte, false
 }
 
@@ -210,6 +215,7 @@ func (t *TLB) Flush() {
 	for i := range t.entries {
 		t.entries[i].valid = false
 	}
+	clear(t.index)
 }
 
 // Occupancy returns the number of valid entries (diagnostic).

@@ -1,0 +1,91 @@
+// Zero-allocation regression tests for the scheme hot path: after
+// warmup, one demand access through each scheme's Access must not
+// allocate. The schemes reuse scratch Op buffers handed back through
+// mc.Result (see the ownership note there); these tests pin that
+// property so a future refactor can't silently reintroduce per-access
+// garbage into the simulator's innermost loop.
+package banshee_test
+
+import (
+	"testing"
+
+	"banshee/internal/alloy"
+	bcore "banshee/internal/banshee"
+	"banshee/internal/cameo"
+	"banshee/internal/mc"
+	"banshee/internal/mem"
+	"banshee/internal/schemes"
+	"banshee/internal/tdc"
+	"banshee/internal/unison"
+	"banshee/internal/vm"
+)
+
+const allocCapacity = 16 << 20 // 16 MB DRAM cache for the alloc tests
+
+// accessPattern drives scheme s over a skewed mix of reads, writes and
+// dirty evictions across `pages` 4 KB pages, with mappings resolved
+// through pt the way the simulator would.
+func accessPattern(s mc.Scheme, pt *vm.PageTable, pages uint64, n int) {
+	for i := 0; i < n; i++ {
+		page := (uint64(i) * 2654435761) % pages
+		addr := mem.Addr(page<<12 | uint64(i%64)<<6)
+		pte := pt.Translate(addr)
+		if i%7 == 0 {
+			s.Access(mem.Request{Addr: addr, Write: true, Eviction: true, Mapping: pte.Mapping()})
+		} else {
+			s.Access(mem.Request{Addr: addr, Write: i%3 == 0, Mapping: pte.Mapping()})
+		}
+	}
+}
+
+func testZeroAlloc(t *testing.T, s mc.Scheme, pages uint64) {
+	t.Helper()
+	pt := vm.NewPageTable()
+	// Warm: grow scratch buffers, populate metadata, page table, and
+	// any internal maps to their steady-state working set.
+	accessPattern(s, pt, pages, 50_000)
+	var i int
+	avg := testing.AllocsPerRun(2000, func() {
+		page := (uint64(i) * 2654435761) % pages
+		addr := mem.Addr(page<<12 | uint64(i%64)<<6)
+		pte := pt.Translate(addr)
+		if i%7 == 0 {
+			s.Access(mem.Request{Addr: addr, Write: true, Eviction: true, Mapping: pte.Mapping()})
+		} else {
+			s.Access(mem.Request{Addr: addr, Write: i%3 == 0, Mapping: pte.Mapping()})
+		}
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("%s: steady-state Access allocates %v per op, want 0", s.Name(), avg)
+	}
+}
+
+func TestBansheeAccessZeroAlloc(t *testing.T) {
+	pt := vm.NewPageTable()
+	cfg := bcore.DefaultConfig(allocCapacity)
+	cfg.Seed = 7
+	b := bcore.New(cfg, pt, nil, vm.DefaultCostModel(2700))
+	testZeroAlloc(t, b, 32768)
+}
+
+func TestAlloyAccessZeroAlloc(t *testing.T) {
+	testZeroAlloc(t, alloy.New(alloy.Config{CapacityBytes: allocCapacity, FillProb: 0.1, Seed: 7}), 32768)
+}
+
+func TestUnisonAccessZeroAlloc(t *testing.T) {
+	testZeroAlloc(t, unison.New(unison.Config{CapacityBytes: allocCapacity, Ways: 4}), 32768)
+}
+
+func TestCameoAccessZeroAlloc(t *testing.T) {
+	testZeroAlloc(t, cameo.New(cameo.Config{CapacityBytes: allocCapacity}), 32768)
+}
+
+func TestTDCAccessZeroAlloc(t *testing.T) {
+	testZeroAlloc(t, tdc.New(tdc.Config{CapacityBytes: allocCapacity}), 32768)
+}
+
+func TestBoundingSchemesZeroAlloc(t *testing.T) {
+	testZeroAlloc(t, schemes.NewNoCache(), 4096)
+	testZeroAlloc(t, schemes.NewCacheOnly(), 4096)
+}
