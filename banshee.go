@@ -14,13 +14,42 @@
 //	cfg := banshee.DefaultConfig()
 //	res, err := banshee.Run(cfg, "pagerank", "Banshee")
 //
+// # Batch runs
+//
+// Sweeps beyond a single run go through the batch engine: declare a
+// Matrix (workloads × schemes × config points × seeds) and hand it to
+// RunBatch. Jobs execute on a work-stealing worker pool that shares
+// substrate warm-up between jobs of the same workload, results stream
+// to a JSONL file as they complete, and an interrupted sweep resumes
+// from that file without re-simulating finished jobs — job identity is
+// a content key over the fully resolved configuration, so edited
+// sweeps re-simulate while untouched jobs are served from disk.
+//
+//	m := banshee.Matrix{Name: "sweep", Base: banshee.DefaultConfig(),
+//		Workloads: banshee.Workloads(), Schemes: banshee.Schemes()}
+//	rs, err := banshee.RunBatch(m, banshee.BatchOptions{Out: "sweep.jsonl", Resume: true})
+//
+// # Scheme registry
+//
+// Scheme selection is table-driven: every design registers a kind, its
+// display names, a parser, and a builder. Out-of-tree schemes join the
+// same tables through RegisterScheme (and RegisterSchemeModifier for
+// "+SUFFIX"-style wrappers such as BATMAN) and are then selectable by
+// name everywhere — Run, Matrix.Schemes, and cmd/experiments.
+//
 // For lower-level control (custom schemes, direct access to the tag
 // buffer, FBR metadata, DRAM timing, or the VM substrate), see the
 // internal packages; cmd/experiments regenerates every table and figure
-// of the paper's evaluation.
+// of the paper's evaluation and resumes interrupted suites via
+// -out/-resume.
 package banshee
 
 import (
+	"io"
+
+	"banshee/internal/mc"
+	"banshee/internal/registry"
+	"banshee/internal/runner"
 	"banshee/internal/sim"
 	"banshee/internal/stats"
 	"banshee/internal/trace"
@@ -62,5 +91,75 @@ func GraphWorkloads() []string { return trace.GraphNames() }
 // Schemes returns the scheme names of the paper's main comparison.
 func Schemes() []string { return sim.SchemeNames() }
 
+// RegisteredSchemes returns every display name the registry currently
+// answers to, including registered out-of-tree schemes.
+func RegisteredSchemes() []string { return registry.Names() }
+
 // ParseScheme resolves a display name into a tunable SchemeSpec.
 func ParseScheme(name string) (SchemeSpec, error) { return sim.ParseScheme(name) }
+
+// CacheScheme is the memory-controller contract a DRAM-cache design
+// implements; see the mc package for Request/Result semantics.
+type CacheScheme = mc.Scheme
+
+// SchemeDef describes a registrable scheme: a unique kind, the display
+// names it answers to, a name parser, and a builder.
+type SchemeDef = registry.Scheme
+
+// SchemeEnv is the simulation context handed to scheme builders.
+type SchemeEnv = registry.Env
+
+// SchemeModifier is a registrable "+SUFFIX" wrapper over built schemes.
+type SchemeModifier = registry.Modifier
+
+// RegisterScheme adds an out-of-tree scheme to the registry, making it
+// selectable by display name in Run, Matrix.Schemes, and
+// cmd/experiments. It panics on duplicate kinds or incomplete
+// definitions; register at init time.
+func RegisterScheme(def SchemeDef) { registry.Register(def) }
+
+// RegisterSchemeModifier adds a "+SUFFIX" wrapper (like the built-in
+// "+BATMAN") applicable to any registered scheme.
+func RegisterSchemeModifier(m SchemeModifier) { registry.RegisterModifier(m) }
+
+// Matrix is a declarative batch of simulations: the cross product of
+// Workloads × Schemes × Points × Seeds over a base config.
+type Matrix = runner.Matrix
+
+// MatrixPoint is one setting of a Matrix's config-override axis.
+type MatrixPoint = runner.Point
+
+// BatchResult indexes a completed batch; BatchRecord is one stored job.
+type (
+	BatchResult = runner.ResultSet
+	BatchRecord = runner.Record
+)
+
+// BatchOptions controls RunBatch.
+type BatchOptions struct {
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+	// Progress, when non-nil, receives one line per completed job and a
+	// final summary.
+	Progress io.Writer
+	// Out is a JSONL file path results stream to ("" = in-memory only).
+	Out string
+	// Resume skips jobs whose results are already in Out; the finished
+	// file is byte-identical to an uninterrupted run's.
+	Resume bool
+}
+
+// RunBatch executes a matrix of simulations on the batch engine with
+// checkpoint/resume. See the package documentation for the sweep flow.
+func RunBatch(m Matrix, o BatchOptions) (*BatchResult, error) {
+	eng := runner.Engine{Parallelism: o.Parallelism, Progress: o.Progress}
+	if o.Out != "" {
+		sink, err := runner.OpenSink(o.Out, o.Resume)
+		if err != nil {
+			return nil, err
+		}
+		defer sink.Close()
+		eng.Sink = sink
+	}
+	return eng.Run(m)
+}

@@ -1,9 +1,14 @@
 package banshee_test
 
 import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 
 	"banshee"
+	"banshee/internal/schemes"
 )
 
 func TestPublicAPIRoundTrip(t *testing.T) {
@@ -62,5 +67,105 @@ func TestTuningPreservedThroughRun(t *testing.T) {
 	if hi.CounterSamples <= lo.CounterSamples {
 		t.Fatalf("sampling coefficient ignored: %d vs %d samples",
 			hi.CounterSamples, lo.CounterSamples)
+	}
+}
+
+// TestRunBatchResume drives the public batch API end to end: a sweep
+// streams to JSONL, and a resumed invocation executes zero jobs while
+// reproducing the same results.
+func TestRunBatchResume(t *testing.T) {
+	cfg := banshee.DefaultConfig()
+	cfg.Cores = 2
+	cfg.InstrPerCore = 60_000
+	cfg.Seed = 5
+	m := banshee.Matrix{
+		Name:      "api",
+		Base:      cfg,
+		Workloads: []string{"pagerank"},
+		Schemes:   []string{"NoCache", "Banshee"},
+	}
+	out := filepath.Join(t.TempDir(), "api.jsonl")
+	first, err := banshee.RunBatch(m, banshee.BatchOptions{Out: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Executed != 2 {
+		t.Fatalf("first run executed %d jobs, want 2", first.Executed)
+	}
+
+	var progress bytes.Buffer
+	second, err := banshee.RunBatch(m, banshee.BatchOptions{Out: out, Resume: true, Progress: &progress})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Executed != 0 || second.Cached != 2 {
+		t.Fatalf("resume executed %d / cached %d, want 0/2", second.Executed, second.Cached)
+	}
+	if !strings.Contains(progress.String(), ", 0 executed") {
+		t.Fatalf("summary missing: %s", progress.String())
+	}
+	a := first.Get("", "pagerank", "Banshee")
+	b := second.Get("", "pagerank", "Banshee")
+	if a.Cycles != b.Cycles {
+		t.Fatalf("resumed result diverged: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+}
+
+// registerAPITest runs once per process: the registry is global, so a
+// bare Register in the test body would panic on duplicate kind under
+// `go test -count=N`.
+var registerAPITest = sync.OnceFunc(func() {
+	banshee.RegisterScheme(banshee.SchemeDef{
+		Kind:  "apitest",
+		Names: []string{"APITest"},
+		Parse: func(name string) (banshee.SchemeSpec, bool) {
+			if name != "APITest" {
+				return banshee.SchemeSpec{}, false
+			}
+			return banshee.SchemeSpec{Kind: "apitest"}, true
+		},
+		Build: func(spec banshee.SchemeSpec, env banshee.SchemeEnv) (banshee.CacheScheme, error) {
+			return schemes.NewNoCache(), nil
+		},
+	})
+})
+
+// TestRegisterScheme registers an out-of-tree scheme through the public
+// API and selects it by name in Run and RunBatch.
+func TestRegisterScheme(t *testing.T) {
+	registerAPITest()
+	found := false
+	for _, n := range banshee.RegisteredSchemes() {
+		if n == "APITest" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("APITest missing from RegisteredSchemes")
+	}
+
+	cfg := banshee.DefaultConfig()
+	cfg.Cores = 2
+	cfg.InstrPerCore = 60_000
+	res, err := banshee.Run(cfg, "pagerank", "APITest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheme != "NoCache" { // the stand-in implementation
+		t.Fatalf("unexpected scheme label %q", res.Scheme)
+	}
+	// The modifier mechanism composes with out-of-tree schemes too.
+	if _, err := banshee.Run(cfg, "pagerank", "APITest+BATMAN"); err != nil {
+		t.Fatalf("modifier on registered scheme: %v", err)
+	}
+	rs, err := banshee.RunBatch(banshee.Matrix{
+		Name: "apireg", Base: cfg,
+		Workloads: []string{"pagerank"}, Schemes: []string{"APITest"},
+	}, banshee.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Executed != 1 {
+		t.Fatalf("batch executed %d, want 1", rs.Executed)
 	}
 }

@@ -1,14 +1,20 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation section (§5). Each -run target prints a paper-style table;
 // "all" runs the full suite in order. See DESIGN.md §4 for the
-// experiment index and EXPERIMENTS.md for recorded paper-vs-measured
-// comparisons.
+// experiment index and the paper-vs-measured caveats.
+//
+// With -out the underlying batch engine streams every simulation
+// result to one JSONL file per experiment matrix in that directory, and
+// -resume skips jobs whose results are already there — so a killed
+// suite re-invoked with the same flags completes without re-simulating
+// finished jobs.
 //
 // Usage:
 //
 //	experiments -run fig4
 //	experiments -run all -instr 2000000
 //	experiments -run fig5 -workloads pagerank,lbm,mcf
+//	experiments -run all -out results/ -resume -v
 package main
 
 import (
@@ -28,10 +34,16 @@ func main() {
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: the paper's 16)")
 		verbose   = flag.Bool("v", false, "print per-run progress")
 		intensity = flag.Float64("intensity", 0, "memory-intensity multiplier (0 = default)")
+		out       = flag.String("out", "", "directory for streaming JSONL results (one file per matrix)")
+		resume    = flag.Bool("resume", false, "skip jobs whose results are already in -out")
 	)
 	flag.Parse()
 
-	o := exp.Options{Instr: *instr, Seed: *seed, Intensity: *intensity}
+	o := exp.Options{Instr: *instr, Seed: *seed, Intensity: *intensity, Out: *out, Resume: *resume}
+	if *resume && *out == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -resume requires -out")
+		os.Exit(1)
+	}
 	if *verbose {
 		o.Progress = os.Stderr
 	}

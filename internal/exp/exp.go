@@ -1,19 +1,20 @@
 // Package exp implements the paper's evaluation section: one runner per
 // table and figure (Fig. 4-9, Tables 1, 5, 6, and the §5.4 extensions).
-// Each runner executes the required simulation matrix, aggregates the
-// same metrics the paper plots, and renders a paper-style table. The
-// runners are shared by cmd/experiments and the benchmark harness in
-// bench_test.go.
+// Each runner declares its simulation matrix (workloads × schemes ×
+// config points), hands it to the generic batch engine in
+// internal/runner, and aggregates the returned results into the same
+// metrics the paper plots. The runners are shared by cmd/experiments
+// and the benchmark harness in bench_test.go; with Options.Out set they
+// stream results to JSONL and resume interrupted sweeps.
 package exp
 
 import (
 	"fmt"
 	"io"
-	"runtime"
-	"sync"
+	"path/filepath"
 
+	"banshee/internal/runner"
 	"banshee/internal/sim"
-	"banshee/internal/stats"
 	"banshee/internal/trace"
 )
 
@@ -31,6 +32,12 @@ type Options struct {
 	Workloads []string
 	// Intensity multiplies every workload's memory intensity (1 = default).
 	Intensity float64
+	// Out, when set, is a directory receiving one JSONL result file per
+	// experiment matrix as jobs complete.
+	Out string
+	// Resume skips jobs whose results are already in Out (matched by
+	// content key, so edited sweeps re-simulate).
+	Resume bool
 }
 
 func (o Options) workloads() []string {
@@ -44,7 +51,7 @@ func (o Options) workloads() []string {
 // sweeps (Fig. 8/9, Tables 5/6): it spans the behavioral classes of the
 // full suite — skewed graph reuse (pagerank, graph500), streaming (lbm,
 // libquantum), pointer chasing (mcf, omnetpp), and a mixed workload —
-// at a fraction of the simulation cost. EXPERIMENTS.md records this
+// at a fraction of the simulation cost. DESIGN.md §4 records this
 // reduction.
 func (o Options) sweepWorkloads() []string {
 	if len(o.Workloads) > 0 {
@@ -69,64 +76,34 @@ func (o Options) config() sim.Config {
 	return cfg
 }
 
-// job is one simulation in a matrix.
-type job struct {
-	key      string
-	workload string
-	scheme   string
-	mutate   func(*sim.Config)
+// matrix declares one experiment's simulation matrix over the options'
+// base config.
+func (o Options) matrix(name string, workloads, schemes []string, points ...runner.Point) runner.Matrix {
+	return runner.Matrix{
+		Name:      name,
+		Base:      o.config(),
+		Workloads: workloads,
+		Schemes:   schemes,
+		Points:    points,
+	}
 }
 
-// runMatrix executes jobs with bounded parallelism and returns results
-// keyed by job key. Errors abort: experiment configs are code, not
-// input, so a failure is a bug worth surfacing immediately.
-func runMatrix(o Options, jobs []job) map[string]stats.Sim {
-	par := o.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	if par > len(jobs) {
-		par = len(jobs)
-	}
-	results := make(map[string]stats.Sim, len(jobs))
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, par)
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cfg := o.config()
-			if j.mutate != nil {
-				j.mutate(&cfg)
-			}
-			st, err := sim.Run(cfg, j.workload, j.scheme)
-			if err != nil {
-				panic(fmt.Sprintf("exp: run %s failed: %v", j.key, err))
-			}
-			mu.Lock()
-			results[j.key] = st
-			mu.Unlock()
-			if o.Progress != nil {
-				fmt.Fprintf(o.Progress, "done %-32s cycles=%d\n", j.key, st.Cycles)
-			}
-		}(j)
-	}
-	wg.Wait()
-	return results
-}
-
-func key(workload, scheme string) string { return workload + "/" + scheme }
-
-// crossJobs builds the full workload × scheme matrix.
-func crossJobs(workloads, schemes []string, mutate func(*sim.Config)) []job {
-	var jobs []job
-	for _, w := range workloads {
-		for _, s := range schemes {
-			jobs = append(jobs, job{key: key(w, s), workload: w, scheme: s, mutate: mutate})
+// run executes a matrix on the batch engine, streaming to o.Out when
+// set. Errors panic: experiment configs are code, not input, so a
+// failure is a bug worth surfacing immediately.
+func run(o Options, m runner.Matrix) *runner.ResultSet {
+	eng := runner.Engine{Parallelism: o.Parallelism, Progress: o.Progress}
+	if o.Out != "" {
+		sink, err := runner.OpenSink(filepath.Join(o.Out, m.Name+".jsonl"), o.Resume)
+		if err != nil {
+			panic(fmt.Sprintf("exp: matrix %s: %v", m.Name, err))
 		}
+		defer sink.Close()
+		eng.Sink = sink
 	}
-	return jobs
+	rs, err := eng.Run(m)
+	if err != nil {
+		panic(fmt.Sprintf("exp: matrix %s failed: %v", m.Name, err))
+	}
+	return rs
 }

@@ -1,6 +1,9 @@
 package exp
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -129,6 +132,34 @@ func TestLargePagesRuns(t *testing.T) {
 	}
 	if !strings.Contains(r.Table().String(), "geo-mean") {
 		t.Fatal("table malformed")
+	}
+}
+
+// TestOutResume runs an experiment twice against the same output
+// directory: the first run streams JSONL, the second (with Resume)
+// must execute zero simulations and reproduce the same aggregates.
+func TestOutResume(t *testing.T) {
+	o := tiny()
+	o.Workloads = []string{"pagerank"}
+	o.Out = t.TempDir()
+	first := Table6(o)
+
+	var progress bytes.Buffer
+	o.Resume = true
+	o.Progress = &progress
+	second := Table6(o)
+
+	if !strings.Contains(progress.String(), ", 0 executed") {
+		t.Fatalf("resumed run re-simulated:\n%s", progress.String())
+	}
+	for _, w := range first.Ways {
+		if first.MissRate[w] != second.MissRate[w] {
+			t.Fatalf("resumed miss rate diverged at %d ways: %v vs %v",
+				w, first.MissRate[w], second.MissRate[w])
+		}
+	}
+	if _, err := os.Stat(filepath.Join(o.Out, "table6.jsonl")); err != nil {
+		t.Fatalf("result file missing: %v", err)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"banshee/internal/mem"
+	"banshee/internal/runner"
 	"banshee/internal/sim"
 	"banshee/internal/stats"
 )
@@ -25,7 +26,7 @@ type Fig4Result struct {
 func Fig4(o Options) *Fig4Result {
 	schemes := []string{"NoCache", "Unison", "TDC", "Alloy 1", "Alloy 0.1", "Banshee", "CacheOnly"}
 	workloads := o.workloads()
-	res := runMatrix(o, crossJobs(workloads, schemes, nil))
+	rs := run(o, o.matrix("fig4", workloads, schemes))
 
 	out := &Fig4Result{
 		Schemes:   schemes,
@@ -35,11 +36,11 @@ func Fig4(o Options) *Fig4Result {
 		GeoMean:   map[string]float64{},
 	}
 	for _, w := range workloads {
-		base := res[key(w, "NoCache")]
+		base := rs.Get("", w, "NoCache")
 		out.Speedup[w] = map[string]float64{}
 		out.MPKI[w] = map[string]float64{}
 		for _, s := range schemes {
-			st := res[key(w, s)]
+			st := rs.Get("", w, s)
 			out.Speedup[w][s] = stats.Speedup(&st, &base)
 			out.MPKI[w][s] = st.MPKI()
 		}
@@ -100,7 +101,7 @@ type TrafficResult struct {
 func Traffic(o Options) *TrafficResult {
 	schemes := []string{"Unison", "TDC", "Alloy 1", "Alloy 0.1", "Banshee"}
 	workloads := o.workloads()
-	res := runMatrix(o, crossJobs(workloads, schemes, nil))
+	rs := run(o, o.matrix("traffic", workloads, schemes))
 
 	out := &TrafficResult{
 		Schemes:   schemes,
@@ -112,7 +113,7 @@ func Traffic(o Options) *TrafficResult {
 		out.InPkg[w] = map[string]map[mem.Class]float64{}
 		out.OffPkg[w] = map[string]float64{}
 		for _, s := range schemes {
-			st := res[key(w, s)]
+			st := rs.Get("", w, s)
 			byClass := map[mem.Class]float64{}
 			for _, c := range mem.Classes() {
 				byClass[c] = st.ClassBPI(c)
@@ -214,15 +215,14 @@ type Fig7Result struct {
 func Fig7(o Options) *Fig7Result {
 	schemes := []string{"Banshee LRU", "Banshee NoSample", "Banshee", "TDC"}
 	workloads := o.workloads()
-	jobs := crossJobs(append([]string{}, workloads...), append(schemes, "NoCache"), nil)
-	res := runMatrix(o, jobs)
+	rs := run(o, o.matrix("fig7", workloads, append(append([]string{}, schemes...), "NoCache")))
 
 	out := &Fig7Result{Schemes: schemes, Speedup: map[string]float64{}, CacheBPI: map[string]float64{}}
 	for _, s := range schemes {
 		var sp, bpi []float64
 		for _, w := range workloads {
-			st := res[key(w, s)]
-			base := res[key(w, "NoCache")]
+			st := rs.Get("", w, s)
+			base := rs.Get("", w, "NoCache")
 			sp = append(sp, stats.Speedup(&st, &base))
 			bpi = append(bpi, st.InPkgBPI())
 		}
@@ -257,7 +257,12 @@ type Fig8Result struct {
 // 50% of off-package) and bandwidth (8×, 4×, 2× of off-package).
 func Fig8(o Options) *Fig8Result {
 	schemes := []string{"Banshee", "Alloy 1", "TDC", "Unison"}
-	workloads := o.sweepWorkloads()[:4]
+	// Fig. 8 is the most expensive sweep (6 points × 5 schemes), so it
+	// runs on at most 4 workloads; smaller -workloads lists pass through.
+	workloads := o.sweepWorkloads()
+	if len(workloads) > 4 {
+		workloads = workloads[:4]
+	}
 	out := &Fig8Result{
 		Schemes:         schemes,
 		LatencyLabels:   []string{"100%", "66%", "50%"},
@@ -265,33 +270,16 @@ func Fig8(o Options) *Fig8Result {
 		Latency:         map[string]map[string]float64{},
 		Bandwidth:       map[string]map[string]float64{},
 	}
-	latScale := map[string]float64{"100%": 1.0, "66%": 0.66, "50%": 0.50}
-	bwChans := map[string]int{"8X": 8, "4X": 4, "2X": 2}
 
-	var jobs []job
-	for label, scale := range latScale {
-		sc := scale
-		for _, w := range workloads {
-			for _, s := range append([]string{}, append(schemes, "NoCache")...) {
-				jobs = append(jobs, job{
-					key: "lat/" + label + "/" + key(w, s), workload: w, scheme: s,
-					mutate: func(c *sim.Config) { c.InPkgLatScale = sc },
-				})
-			}
-		}
+	latPoint := func(label string, scale float64) runner.Point {
+		return runner.Point{Label: "lat/" + label, Mutate: func(c *sim.Config) { c.InPkgLatScale = scale }}
 	}
-	for label, ch := range bwChans {
-		n := ch
-		for _, w := range workloads {
-			for _, s := range append([]string{}, append(schemes, "NoCache")...) {
-				jobs = append(jobs, job{
-					key: "bw/" + label + "/" + key(w, s), workload: w, scheme: s,
-					mutate: func(c *sim.Config) { c.InPkgChannels = n },
-				})
-			}
-		}
+	bwPoint := func(label string, channels int) runner.Point {
+		return runner.Point{Label: "bw/" + label, Mutate: func(c *sim.Config) { c.InPkgChannels = channels }}
 	}
-	res := runMatrix(o, jobs)
+	rs := run(o, o.matrix("fig8", workloads, append(append([]string{}, schemes...), "NoCache"),
+		latPoint("100%", 1.0), latPoint("66%", 0.66), latPoint("50%", 0.50),
+		bwPoint("8X", 8), bwPoint("4X", 4), bwPoint("2X", 2)))
 
 	collect := func(prefix string, labels []string, dst map[string]map[string]float64) {
 		for _, label := range labels {
@@ -299,8 +287,8 @@ func Fig8(o Options) *Fig8Result {
 			for _, s := range schemes {
 				var xs []float64
 				for _, w := range workloads {
-					st := res[prefix+label+"/"+key(w, s)]
-					base := res[prefix+label+"/"+key(w, "NoCache")]
+					st := rs.Get(prefix+label, w, s)
+					base := rs.Get(prefix+label, w, "NoCache")
 					xs = append(xs, stats.Speedup(&st, &base))
 				}
 				dst[label][s] = stats.GeoMean(xs)
@@ -349,24 +337,22 @@ type Fig9Result struct {
 func Fig9(o Options) *Fig9Result {
 	coeffs := []float64{1, 0.1, 0.01}
 	workloads := o.sweepWorkloads()
-	var jobs []job
+	var points []runner.Point
 	for _, c := range coeffs {
 		coeff := c
-		for _, w := range workloads {
-			jobs = append(jobs, job{
-				key: fmt.Sprintf("%g/%s", coeff, w), workload: w, scheme: "Banshee",
-				mutate: func(cfg *sim.Config) { cfg.Scheme.BansheeSamplingCoeff = coeff },
-			})
-		}
+		points = append(points, runner.Point{
+			Label:  fmt.Sprintf("%g", coeff),
+			Mutate: func(cfg *sim.Config) { cfg.Scheme.BansheeSamplingCoeff = coeff },
+		})
 	}
-	res := runMatrix(o, jobs)
+	rs := run(o, o.matrix("fig9", workloads, []string{"Banshee"}, points...))
 
 	out := &Fig9Result{Coeffs: coeffs, MissRate: map[float64]float64{}, BPI: map[float64]map[mem.Class]float64{}}
 	for _, c := range coeffs {
 		var mr []float64
 		byClass := map[mem.Class]float64{}
 		for _, w := range workloads {
-			st := res[fmt.Sprintf("%g/%s", c, w)]
+			st := rs.Get(fmt.Sprintf("%g", c), w, "Banshee")
 			mr = append(mr, st.MissRate())
 			for _, cl := range mem.Classes() {
 				byClass[cl] += st.ClassBPI(cl) / float64(len(workloads))

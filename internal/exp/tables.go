@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"banshee/internal/runner"
 	"banshee/internal/sim"
 	"banshee/internal/stats"
 )
@@ -40,24 +41,18 @@ type Table5Result struct {
 func Table5(o Options) *Table5Result {
 	costs := []float64{10, 20, 40}
 	workloads := o.sweepWorkloads()
-	var jobs []job
-	// Baseline: near-free updates.
-	for _, w := range workloads {
-		jobs = append(jobs, job{
-			key: "free/" + w, workload: w, scheme: "Banshee",
-			mutate: func(c *sim.Config) { c.Scheme.PTEUpdateMicros = 0.001 },
-		})
-	}
+	points := []runner.Point{{
+		Label:  "free",
+		Mutate: func(c *sim.Config) { c.Scheme.PTEUpdateMicros = 0.001 },
+	}}
 	for _, us := range costs {
 		cost := us
-		for _, w := range workloads {
-			jobs = append(jobs, job{
-				key: fmt.Sprintf("%g/%s", cost, w), workload: w, scheme: "Banshee",
-				mutate: func(c *sim.Config) { c.Scheme.PTEUpdateMicros = cost },
-			})
-		}
+		points = append(points, runner.Point{
+			Label:  fmt.Sprintf("%g", cost),
+			Mutate: func(c *sim.Config) { c.Scheme.PTEUpdateMicros = cost },
+		})
 	}
-	res := runMatrix(o, jobs)
+	rs := run(o, o.matrix("table5", workloads, []string{"Banshee"}, points...))
 
 	out := &Table5Result{CostsMicros: costs, AvgLoss: map[float64]float64{}, MaxLoss: map[float64]float64{}}
 	cfg := o.config()
@@ -65,8 +60,8 @@ func Table5(o Options) *Table5Result {
 	for _, us := range costs {
 		var losses []float64
 		for _, w := range workloads {
-			base := res["free/"+w]
-			st := res[fmt.Sprintf("%g/%s", us, w)]
+			base := rs.Get("free", w, "Banshee")
+			st := rs.Get(fmt.Sprintf("%g", us), w, "Banshee")
 			loss := float64(st.Cycles)/float64(base.Cycles) - 1
 			if loss < 0 {
 				loss = 0 // noise floor: costed run happened to be faster
@@ -107,22 +102,21 @@ type Table6Result struct {
 func Table6(o Options) *Table6Result {
 	ways := []int{1, 2, 4, 8}
 	workloads := o.sweepWorkloads()
-	var jobs []job
+	var points []runner.Point
 	for _, w := range ways {
 		nw := w
-		for _, wl := range workloads {
-			jobs = append(jobs, job{
-				key: fmt.Sprintf("%d/%s", nw, wl), workload: wl, scheme: "Banshee",
-				mutate: func(c *sim.Config) { c.Scheme.BansheeWays = nw },
-			})
-		}
+		points = append(points, runner.Point{
+			Label:  fmt.Sprintf("%d", nw),
+			Mutate: func(c *sim.Config) { c.Scheme.BansheeWays = nw },
+		})
 	}
-	res := runMatrix(o, jobs)
+	rs := run(o, o.matrix("table6", workloads, []string{"Banshee"}, points...))
+
 	out := &Table6Result{Ways: ways, MissRate: map[int]float64{}}
 	for _, w := range ways {
 		var xs []float64
 		for _, wl := range workloads {
-			st := res[fmt.Sprintf("%d/%s", w, wl)]
+			st := rs.Get(fmt.Sprintf("%d", w), wl, "Banshee")
 			xs = append(xs, st.MissRate())
 		}
 		out.MissRate[w] = stats.Mean(xs)
@@ -156,20 +150,23 @@ func LargePages(o Options) *LargePageResult {
 	if len(workloads) == 0 {
 		workloads = []string{"pagerank", "tri_count", "graph500", "sgd", "lsh"}
 	}
-	var jobs []job
-	for _, w := range workloads {
-		jobs = append(jobs, job{key: "4k/" + w, workload: w, scheme: "Banshee"})
-		jobs = append(jobs, job{
-			key: "2m/" + w, workload: w, scheme: "Banshee 2M",
-			mutate: func(c *sim.Config) { c.LargePages = true },
-		})
-	}
-	res := runMatrix(o, jobs)
+	// One matrix over both page sizes: the "Banshee 2M" spec selects the
+	// large-page cache layout, and the point mutation moves the
+	// workload's data onto 2 MB pages to match.
+	m := o.matrix("largepage", workloads, []string{"Banshee", "Banshee 2M"}, runner.Point{
+		Mutate: func(c *sim.Config) {
+			if c.Scheme.BansheeLargePages {
+				c.LargePages = true
+			}
+		},
+	})
+	rs := run(o, m)
+
 	out := &LargePageResult{Workloads: workloads, Speedup2M: map[string]float64{}}
 	var xs []float64
 	for _, w := range workloads {
-		base := res["4k/"+w]
-		st := res["2m/"+w]
+		base := rs.Get("", w, "Banshee")
+		st := rs.Get("", w, "Banshee 2M")
 		sp := stats.Speedup(&st, &base)
 		out.Speedup2M[w] = sp
 		xs = append(xs, sp)
@@ -203,13 +200,13 @@ type BatmanResult struct {
 func Batman(o Options) *BatmanResult {
 	schemes := []string{"Alloy 1", "Banshee", "Alloy 1+BATMAN", "Banshee+BATMAN"}
 	workloads := o.workloads()
-	res := runMatrix(o, crossJobs(workloads, schemes, nil))
+	rs := run(o, o.matrix("batman", workloads, schemes))
 
 	gm := func(num, den string) float64 {
 		var xs []float64
 		for _, w := range workloads {
-			a := res[key(w, num)]
-			b := res[key(w, den)]
+			a := rs.Get("", w, num)
+			b := rs.Get("", w, den)
 			xs = append(xs, stats.Speedup(&a, &b))
 		}
 		return stats.GeoMean(xs)

@@ -18,6 +18,7 @@
 package graph
 
 import (
+	"container/list"
 	"fmt"
 	"runtime"
 	"sync"
@@ -65,27 +66,104 @@ type Config struct {
 	Seed uint64
 }
 
-// cache holds every graph ever built, keyed by its full Config (which
-// includes the seed, so the cache is seed-keyed and deterministic).
-// A Graph is immutable after construction — kernels only read it — so
-// sharing one instance across runs, cores, and parallel experiment
-// workers is safe, and sync.Map keeps the repeat-run read path
-// lock-free. Experiment sweeps use a handful of configs, so unbounded
-// retention is the right trade: regeneration cost dwarfs residency.
-var cache sync.Map // Config → *Graph
+// The substrate cache holds recently built graphs, keyed by full
+// Config (which includes the seed, so the cache is seed-keyed and
+// deterministic). A Graph is immutable after construction — kernels
+// only read it — so sharing one instance across runs, cores, and
+// parallel experiment workers is safe. The cache is a bounded LRU:
+// long-running sweeps touch an unbounded stream of configs (scale,
+// seed, and footprint all key differently), and graphs are large, so
+// retention must be capped; within a batch the engine groups jobs by
+// workload, so the working set stays far below the cap and eviction
+// only trims substrates the sweep has moved past.
+//
+// Concurrent first builds of the same config are deduplicated: one
+// caller builds while the rest wait on the entry's ready channel.
+type cacheEntry struct {
+	cfg   Config
+	g     *Graph
+	ready chan struct{} // closed once g is populated
+}
+
+var cacheState struct {
+	mu      sync.Mutex
+	limit   int
+	entries map[Config]*list.Element
+	order   *list.List // front = most recently used, of *cacheEntry
+}
+
+// DefaultCacheLimit bounds the substrate cache (in graphs, not bytes:
+// sweep configs at one scale are similar sizes, so an entry count is a
+// faithful proxy and keeps eviction O(1)).
+const DefaultCacheLimit = 16
+
+func init() {
+	cacheState.limit = DefaultCacheLimit
+	cacheState.entries = map[Config]*list.Element{}
+	cacheState.order = list.New()
+}
+
+// SetCacheLimit resizes the substrate cache, evicting down to n
+// immediately, and returns the previous limit. n < 1 is clamped to 1.
+func SetCacheLimit(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	cacheState.mu.Lock()
+	defer cacheState.mu.Unlock()
+	prev := cacheState.limit
+	cacheState.limit = n
+	evictLocked()
+	return prev
+}
+
+// evictLocked trims least-recently-used entries over the limit. Waiters
+// on an evicted in-flight entry still complete through their entry
+// pointer; the entry just stops being served to new callers.
+func evictLocked() {
+	for cacheState.order.Len() > cacheState.limit {
+		back := cacheState.order.Back()
+		cacheState.order.Remove(back)
+		delete(cacheState.entries, back.Value.(*cacheEntry).cfg)
+	}
+}
 
 // New returns the deterministic synthetic graph for cfg, building it on
 // first use and serving the shared cached instance afterwards. The
 // returned graph must not be mutated.
 func New(cfg Config) *Graph {
-	if g, ok := cache.Load(cfg); ok {
-		return g.(*Graph)
+	cacheState.mu.Lock()
+	if el, ok := cacheState.entries[cfg]; ok {
+		cacheState.order.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		cacheState.mu.Unlock()
+		<-e.ready
+		if e.g == nil {
+			panic(fmt.Sprintf("graph: build of %+v failed in another goroutine", cfg))
+		}
+		return e.g
 	}
-	// Concurrent first builds of the same config race benignly:
-	// generation is deterministic, so both candidates are identical and
-	// LoadOrStore picks one winner.
-	g, _ := cache.LoadOrStore(cfg, build(cfg))
-	return g.(*Graph)
+	e := &cacheEntry{cfg: cfg, ready: make(chan struct{})}
+	cacheState.entries[cfg] = cacheState.order.PushFront(e)
+	evictLocked()
+	cacheState.mu.Unlock()
+
+	// If build panics (bad config), drop the entry and wake waiters so
+	// the cache is not poisoned for retries with a corrected config.
+	defer func() {
+		if e.g == nil {
+			cacheState.mu.Lock()
+			if el, ok := cacheState.entries[cfg]; ok && el.Value.(*cacheEntry) == e {
+				cacheState.order.Remove(el)
+				delete(cacheState.entries, cfg)
+			}
+			cacheState.mu.Unlock()
+			close(e.ready)
+		}
+	}()
+	e.g = build(cfg)
+	close(e.ready)
+	return e.g
 }
 
 // buildChunk is the vertex-range granule of parallel edge generation.

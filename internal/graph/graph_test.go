@@ -1,6 +1,9 @@
 package graph
 
-import "testing"
+import (
+	"sync"
+	"testing"
+)
 
 func testGraph() *Graph {
 	return New(Config{Vertices: 2000, AvgDegree: 8, Skew: 0.9, Seed: 1})
@@ -204,5 +207,57 @@ func TestGraphCacheShared(t *testing.T) {
 	cfg.Seed = 100
 	if New(cfg) == a {
 		t.Fatal("different seed shared a graph")
+	}
+}
+
+// TestGraphCacheBounded verifies the LRU cap: filling the cache past
+// its limit evicts the least-recently-used substrate (which rebuilds to
+// a fresh instance on the next request), while recently used entries
+// stay resident.
+func TestGraphCacheBounded(t *testing.T) {
+	prev := SetCacheLimit(4)
+	defer SetCacheLimit(prev)
+
+	cfg := func(seed uint64) Config {
+		return Config{Vertices: 256, AvgDegree: 4, Seed: 1000 + seed}
+	}
+	first := New(cfg(0))
+	g1 := New(cfg(1))
+	New(cfg(2))
+	New(cfg(3))
+	// Touch cfg(0) so cfg(1) becomes least recently used, then insert a
+	// fifth entry to force one eviction.
+	if New(cfg(0)) != first {
+		t.Fatal("entry evicted while cache was under its limit")
+	}
+	New(cfg(4))
+	if New(cfg(0)) != first {
+		t.Fatal("recently used entry was evicted")
+	}
+	if New(cfg(1)) == g1 {
+		t.Fatal("LRU entry survived past the cache limit")
+	}
+}
+
+// TestGraphCacheConcurrentBuildDedupe hammers one cold config from many
+// goroutines: everyone must get the same instance (single build, no
+// torn entries). Run under -race in CI.
+func TestGraphCacheConcurrentBuildDedupe(t *testing.T) {
+	cfg := Config{Vertices: 2048, AvgDegree: 8, Skew: 0.5, Seed: 777}
+	const n = 8
+	got := make([]*Graph, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = New(cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if got[i] != got[0] {
+			t.Fatal("concurrent builds produced distinct instances")
+		}
 	}
 }

@@ -1,0 +1,19 @@
+package registry
+
+import (
+	"banshee/internal/batman"
+	"banshee/internal/mc"
+)
+
+// The "+BATMAN" modifier (§5.4.2): bandwidth balancing layered over any
+// base scheme.
+func init() {
+	RegisterModifier(Modifier{
+		Suffix: "+BATMAN",
+		Apply:  func(spec *Spec) { spec.BATMAN = true },
+		Active: func(spec Spec) bool { return spec.BATMAN },
+		Wrap: func(inner mc.Scheme, spec Spec, env Env) (mc.Scheme, error) {
+			return batman.New(inner, batman.Config{Seed: env.Seed}), nil
+		},
+	})
+}

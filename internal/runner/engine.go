@@ -1,0 +1,272 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"banshee/internal/sim"
+	"banshee/internal/stats"
+)
+
+// Engine executes matrices on a work-stealing worker pool. Workers own
+// per-workload job queues: the first job on a workload builds (and
+// caches) its trace/graph substrate, and every later job on that queue
+// hits the warm cache, so the expensive warm-up happens once per
+// workload instead of once per job. An idle worker first claims an
+// unowned workload, and only when none remain steals from the back of
+// the longest remaining queue — keeping stolen work on the substrate
+// it just warmed.
+type Engine struct {
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+	// Progress, when non-nil, receives one line per completed job and a
+	// final per-matrix summary.
+	Progress io.Writer
+	// Sink, when non-nil, streams results to disk and supplies the
+	// already-completed records a resumed run skips.
+	Sink *Sink
+}
+
+// Run executes the matrix and returns its indexed results. The sink's
+// leading records that line up with the matrix enumeration (matched by
+// coordinate and content ID) are taken as done; records beyond the
+// first mismatch — an edited sweep — are pruned from the file, with
+// their still-valid results reused by content key instead of
+// re-simulated. Identical configs reached under different coordinates
+// also simulate once. Results stream to the sink in matrix enumeration
+// order, so a killed run's file is a clean prefix and a resumed run
+// completes it byte-identically.
+func (e Engine) Run(m Matrix) (*ResultSet, error) {
+	jobs, err := m.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	rs := &ResultSet{matrix: m.Name, baseSeed: m.baseSeed(), byCoord: make(map[string]Record, len(jobs))}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		byID     = map[string]stats.Sim{}     // known results, content-keyed
+		inflight = map[string]chan struct{}{} // IDs being simulated now
+		results  = make([]*Record, len(jobs))
+		onDisk   = make([]bool, len(jobs)) // already in the sink file
+		next     = 0                       // flush frontier (enumeration order)
+	)
+	if e.Sink != nil {
+		for _, r := range e.Sink.Loaded() {
+			byID[r.ID] = r.Result
+		}
+	}
+
+	// flushLocked streams the completed prefix to the sink in order.
+	flushLocked := func() {
+		for next < len(jobs) && results[next] != nil {
+			if !onDisk[next] && e.Sink != nil && firstErr == nil {
+				if err := e.Sink.Append(*results[next]); err != nil {
+					firstErr = err
+				}
+			}
+			next++
+		}
+	}
+	completeLocked := func(i int, st stats.Sim, how string) {
+		j := jobs[i]
+		results[i] = &Record{ID: j.ID, Matrix: j.Matrix, Label: j.Label,
+			Workload: j.Workload, Scheme: j.Scheme, Seed: j.Seed, Result: st}
+		flushLocked()
+		if e.Progress != nil {
+			fmt.Fprintf(e.Progress, "%-6s %-40s cycles=%d\n", how, j.Coord(), st.Cycles)
+		}
+	}
+
+	// The file must stay an enumeration-order prefix of this matrix, so
+	// only the leading records that line up with the jobs count as done
+	// on disk; anything after the first mismatch (an edited sweep, or a
+	// file from a different matrix) is pruned. Pruned-but-still-valid
+	// results are not lost — they were indexed into byID above, so their
+	// jobs complete by content-key reuse and are re-appended in order
+	// rather than re-simulated.
+	var pending []int
+	if e.Sink != nil {
+		loaded := e.Sink.Loaded()
+		k := 0
+		for k < len(loaded) && k < len(jobs) &&
+			loaded[k].ID == jobs[k].ID &&
+			coordKey(loaded[k].Matrix, loaded[k].Label, loaded[k].Workload, loaded[k].Scheme, loaded[k].Seed) == jobs[k].Coord() {
+			k++
+		}
+		if k < len(loaded) {
+			if err := e.Sink.Rewrite(loaded[:k]); err != nil {
+				return nil, err
+			}
+		}
+		for i := 0; i < k; i++ {
+			r := loaded[i]
+			results[i] = &r
+			onDisk[i] = true
+			rs.Cached++
+		}
+		for i := k; i < len(jobs); i++ {
+			pending = append(pending, i)
+		}
+		mu.Lock()
+		flushLocked()
+		mu.Unlock()
+	} else {
+		for i := range jobs {
+			pending = append(pending, i)
+		}
+	}
+
+	q := newJobQueue(jobs, pending)
+	workers := e.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			own := ""
+			for {
+				mu.Lock()
+				if firstErr != nil {
+					mu.Unlock()
+					return
+				}
+				i, wl, ok := q.nextLocked(own)
+				if !ok {
+					mu.Unlock()
+					return
+				}
+				own = wl
+				id := jobs[i].ID
+				// Reuse or await an identical config instead of
+				// simulating it twice.
+				reused := false
+				for {
+					if st, ok := byID[id]; ok {
+						rs.Cached++
+						completeLocked(i, st, "reuse")
+						reused = true
+						break
+					}
+					ch, busy := inflight[id]
+					if !busy {
+						break
+					}
+					mu.Unlock()
+					<-ch
+					mu.Lock()
+					if firstErr != nil {
+						mu.Unlock()
+						return
+					}
+				}
+				if reused {
+					mu.Unlock()
+					continue
+				}
+				ch := make(chan struct{})
+				inflight[id] = ch
+				mu.Unlock()
+
+				st, err := sim.RunConfig(jobs[i].Config)
+
+				mu.Lock()
+				delete(inflight, id)
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("runner: job %s (%s): %w", jobs[i].Coord(), id, err)
+					}
+					close(ch)
+					mu.Unlock()
+					return
+				}
+				byID[id] = st
+				rs.Executed++
+				completeLocked(i, st, "done")
+				close(ch)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	for _, r := range results {
+		rs.records = append(rs.records, *r)
+		rs.byCoord[coordKey(r.Matrix, r.Label, r.Workload, r.Scheme, r.Seed)] = *r
+	}
+	if e.Progress != nil {
+		fmt.Fprintf(e.Progress, "matrix %s: %d jobs, %d cached, %d executed\n",
+			m.Name, len(jobs), rs.Cached, rs.Executed)
+	}
+	return rs, nil
+}
+
+// jobQueue is the pool's scheduling state: per-workload FIFO queues in
+// first-appearance order. Guarded by the engine's mutex.
+type jobQueue struct {
+	jobs    []Job
+	queues  map[string][]int
+	order   []string
+	claimed map[string]bool
+}
+
+func newJobQueue(jobs []Job, pending []int) *jobQueue {
+	q := &jobQueue{jobs: jobs, queues: map[string][]int{}, claimed: map[string]bool{}}
+	for _, i := range pending {
+		w := jobs[i].Workload
+		if _, seen := q.queues[w]; !seen {
+			q.order = append(q.order, w)
+		}
+		q.queues[w] = append(q.queues[w], i)
+	}
+	return q
+}
+
+// nextLocked hands the caller its next job: first from its own
+// workload's queue, then by claiming an unowned workload, and finally
+// by stealing from the back of the longest remaining queue.
+func (q *jobQueue) nextLocked(own string) (int, string, bool) {
+	if own != "" && len(q.queues[own]) > 0 {
+		return q.popFront(own), own, true
+	}
+	for _, w := range q.order {
+		if !q.claimed[w] && len(q.queues[w]) > 0 {
+			q.claimed[w] = true
+			return q.popFront(w), w, true
+		}
+	}
+	best := ""
+	for _, w := range q.order {
+		if len(q.queues[w]) > len(q.queues[best]) {
+			best = w
+		}
+	}
+	if best == "" {
+		return 0, "", false
+	}
+	return q.popBack(best), best, true
+}
+
+func (q *jobQueue) popFront(w string) int {
+	idxs := q.queues[w]
+	q.queues[w] = idxs[1:]
+	return idxs[0]
+}
+
+func (q *jobQueue) popBack(w string) int {
+	idxs := q.queues[w]
+	q.queues[w] = idxs[:len(idxs)-1]
+	return idxs[len(idxs)-1]
+}

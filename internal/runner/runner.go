@@ -1,0 +1,179 @@
+// Package runner is the generic batch run engine: it executes a
+// declarative Matrix of simulations (workloads × schemes × config
+// points × seeds) on a work-stealing worker pool, streams every result
+// to a JSONL sink as it completes, and resumes interrupted sweeps by
+// skipping jobs whose results are already on disk.
+//
+// Jobs are content-keyed: a job's ID is a hash of its fully resolved
+// sim.Config, so a result on disk is reused only when the workload,
+// scheme spec, seed, instruction budget, and every other knob match
+// exactly — stale results from an edited sweep are re-simulated, and
+// identical configurations reached through different sweep labels are
+// simulated once and recorded under each label.
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"banshee/internal/sim"
+	"banshee/internal/stats"
+)
+
+// Point is one setting of a matrix's config-override axis: a label for
+// result lookup plus a mutation applied to the fully resolved config
+// (after workload, scheme, and seed are in place — so a mutation may
+// tune spec fields or inspect the resolved scheme).
+type Point struct {
+	Label  string
+	Mutate func(*sim.Config)
+}
+
+// Matrix is a declarative batch of simulations: the cross product of
+// Workloads × Schemes × Points × Seeds over a base config.
+type Matrix struct {
+	// Name labels the matrix in records and progress output.
+	Name string
+	// Base is the configuration every job starts from.
+	Base sim.Config
+	// Workloads and Schemes are the primary axes (display names).
+	Workloads []string
+	Schemes   []string
+	// Points is the config-override axis; nil means one unmodified
+	// point with an empty label.
+	Points []Point
+	// Seeds is the seed axis; nil means the base config's seed.
+	Seeds []uint64
+}
+
+// Job is one resolved simulation of a matrix.
+type Job struct {
+	ID       string
+	Matrix   string
+	Label    string
+	Workload string
+	Scheme   string
+	Seed     uint64
+	Config   sim.Config
+}
+
+// Coord is the job's sweep coordinate — the key aggregators look
+// results up under.
+func (j Job) Coord() string {
+	return coordKey(j.Matrix, j.Label, j.Workload, j.Scheme, j.Seed)
+}
+
+func coordKey(matrix, label, workload, scheme string, seed uint64) string {
+	return fmt.Sprintf("%s|%s|%s|%s|%d", matrix, label, workload, scheme, seed)
+}
+
+// Jobs enumerates the matrix in deterministic order (points, then
+// workloads, then schemes, then seeds), fully resolving each config.
+func (m Matrix) Jobs() ([]Job, error) {
+	if len(m.Workloads) == 0 || len(m.Schemes) == 0 {
+		return nil, fmt.Errorf("runner: matrix %q needs at least one workload and one scheme", m.Name)
+	}
+	points := m.Points
+	if len(points) == 0 {
+		points = []Point{{}}
+	}
+	seeds := m.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{m.Base.Seed}
+	}
+	jobs := make([]Job, 0, len(points)*len(m.Workloads)*len(m.Schemes)*len(seeds))
+	for _, p := range points {
+		for _, w := range m.Workloads {
+			for _, s := range m.Schemes {
+				for _, seed := range seeds {
+					cfg := m.Base
+					cfg.Workload = w
+					cfg.Seed = seed
+					spec, err := sim.ResolveScheme(s, cfg.Scheme)
+					if err != nil {
+						return nil, fmt.Errorf("runner: matrix %q: %w", m.Name, err)
+					}
+					cfg.Scheme = spec
+					if p.Mutate != nil {
+						p.Mutate(&cfg)
+					}
+					jobs = append(jobs, Job{
+						ID:       jobID(cfg),
+						Matrix:   m.Name,
+						Label:    p.Label,
+						Workload: w,
+						Scheme:   s,
+						Seed:     seed,
+						Config:   cfg,
+					})
+				}
+			}
+		}
+	}
+	return jobs, nil
+}
+
+// baseSeed is the seed Get defaults to.
+func (m Matrix) baseSeed() uint64 {
+	if len(m.Seeds) > 0 {
+		return m.Seeds[0]
+	}
+	return m.Base.Seed
+}
+
+// jobID content-keys a fully resolved config: equal configs — and only
+// equal configs — share an ID.
+func jobID(cfg sim.Config) string {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		// sim.Config is plain data; failure to encode it is a bug.
+		panic(fmt.Sprintf("runner: config not encodable: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Record is one completed job as stored in the JSONL sink.
+type Record struct {
+	ID       string    `json:"id"`
+	Matrix   string    `json:"matrix"`
+	Label    string    `json:"label,omitempty"`
+	Workload string    `json:"workload"`
+	Scheme   string    `json:"scheme"`
+	Seed     uint64    `json:"seed"`
+	Result   stats.Sim `json:"result"`
+}
+
+// ResultSet holds a completed matrix run, indexed for aggregation.
+type ResultSet struct {
+	matrix   string
+	baseSeed uint64
+	byCoord  map[string]Record
+	records  []Record // enumeration order
+	// Executed counts jobs that were simulated; Cached counts jobs
+	// served from the sink or deduplicated against an identical config.
+	Executed int
+	Cached   int
+}
+
+// Get returns the result at (label, workload, scheme) for the matrix's
+// base seed. Missing coordinates panic: experiment aggregations are
+// code, not input, so a miss is a bug worth surfacing immediately.
+func (rs *ResultSet) Get(label, workload, scheme string) stats.Sim {
+	st, ok := rs.Lookup(label, workload, scheme, rs.baseSeed)
+	if !ok {
+		panic(fmt.Sprintf("runner: matrix %s has no result at %s/%s/%s", rs.matrix, label, workload, scheme))
+	}
+	return st
+}
+
+// Lookup returns the result at a full coordinate, reporting presence.
+func (rs *ResultSet) Lookup(label, workload, scheme string, seed uint64) (stats.Sim, bool) {
+	r, ok := rs.byCoord[coordKey(rs.matrix, label, workload, scheme, seed)]
+	return r.Result, ok
+}
+
+// Records returns every record in matrix enumeration order.
+func (rs *ResultSet) Records() []Record { return rs.records }

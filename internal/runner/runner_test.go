@@ -1,0 +1,351 @@
+package runner
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"banshee/internal/sim"
+)
+
+// testMatrix is small enough for unit tests but exercises every axis:
+// two workloads, two schemes, and a two-point config sweep.
+func testMatrix(name string) Matrix {
+	base := sim.DefaultConfig()
+	base.Cores = 2
+	base.InstrPerCore = 60_000
+	base.Seed = 11
+	return Matrix{
+		Name:      name,
+		Base:      base,
+		Workloads: []string{"pagerank", "lbm"},
+		Schemes:   []string{"NoCache", "Banshee"},
+		Points: []Point{
+			{Label: "base"},
+			{Label: "lat66", Mutate: func(c *sim.Config) { c.InPkgLatScale = 0.66 }},
+		},
+	}
+}
+
+func TestMatrixEnumeration(t *testing.T) {
+	m := testMatrix("enum")
+	jobs, err := m.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 8 {
+		t.Fatalf("expected 8 jobs, got %d", len(jobs))
+	}
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if seen[j.Coord()] {
+			t.Fatalf("duplicate coord %s", j.Coord())
+		}
+		seen[j.Coord()] = true
+		if j.Config.Workload != j.Workload {
+			t.Fatalf("config workload %q != job workload %q", j.Config.Workload, j.Workload)
+		}
+		if j.ID == "" {
+			t.Fatal("missing content ID")
+		}
+	}
+	// Content keys must differ across points but match across re-enumeration.
+	again, _ := m.Jobs()
+	for i := range jobs {
+		if jobs[i].ID != again[i].ID {
+			t.Fatalf("job %d ID unstable: %s vs %s", i, jobs[i].ID, again[i].ID)
+		}
+	}
+	if jobs[0].ID == jobs[4].ID {
+		t.Fatal("different points share a content ID")
+	}
+}
+
+func TestContentKeyTracksConfig(t *testing.T) {
+	m := testMatrix("key")
+	a, _ := m.Jobs()
+	m.Base.InstrPerCore = 70_000
+	b, _ := m.Jobs()
+	for i := range a {
+		if a[i].ID == b[i].ID {
+			t.Fatalf("job %d ID unchanged after config edit", i)
+		}
+	}
+}
+
+func TestEngineDeterministicAcrossParallelism(t *testing.T) {
+	m := testMatrix("det")
+	serial, err := Engine{Parallelism: 1}.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Engine{Parallelism: 4}.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Executed == 0 {
+		t.Fatal("nothing executed")
+	}
+	for _, r := range serial.Records() {
+		got := parallel.Get(r.Label, r.Workload, r.Scheme)
+		if got.Cycles != r.Result.Cycles || got.InPkg != r.Result.InPkg {
+			t.Fatalf("%s: parallel run diverged from serial", r.Workload)
+		}
+	}
+}
+
+// TestGoldenResume is the checkpoint/resume contract: killing a sweep
+// after k jobs (simulated by truncating the JSONL to k complete lines,
+// plus a torn partial line) and re-running with resume must finish the
+// remaining jobs without re-simulating the first k, and the final file
+// must be byte-identical to an uninterrupted run's.
+func TestGoldenResume(t *testing.T) {
+	dir := t.TempDir()
+	m := testMatrix("golden")
+
+	fullPath := filepath.Join(dir, "full.jsonl")
+	sink, err := OpenSink(fullPath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Engine{Parallelism: 3, Sink: sink}).Run(m); err != nil {
+		t.Fatal(err)
+	}
+	sink.Close()
+	full, err := os.ReadFile(fullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(full, []byte("\n"))
+	if len(lines) < 8 {
+		t.Fatalf("expected >= 8 result lines, got %d", len(lines))
+	}
+
+	// Interrupted file: 3 complete records plus a torn tail.
+	partialPath := filepath.Join(dir, "partial.jsonl")
+	partial := append([]byte{}, bytes.Join(lines[:3], nil)...)
+	partial = append(partial, []byte(`{"id":"torn`)...)
+	if err := os.WriteFile(partialPath, partial, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sink2, err := OpenSink(partialPath, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sink2.Loaded()); got != 3 {
+		t.Fatalf("loaded %d records from torn file, want 3", got)
+	}
+	rs, err := (Engine{Parallelism: 3, Sink: sink2}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink2.Close()
+	if rs.Cached != 3 {
+		t.Fatalf("resumed run cached %d jobs, want 3", rs.Cached)
+	}
+	if rs.Executed != 5 {
+		t.Fatalf("resumed run executed %d jobs, want 5", rs.Executed)
+	}
+	resumed, err := os.ReadFile(partialPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resumed, full) {
+		t.Fatalf("resumed JSONL differs from uninterrupted run:\n--- full ---\n%s\n--- resumed ---\n%s", full, resumed)
+	}
+
+	// A second resume over the complete file executes nothing.
+	sink3, err := OpenSink(partialPath, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs3, err := (Engine{Sink: sink3}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink3.Close()
+	if rs3.Executed != 0 || rs3.Cached != 8 {
+		t.Fatalf("complete resume executed %d / cached %d, want 0/8", rs3.Executed, rs3.Cached)
+	}
+	again, _ := os.ReadFile(partialPath)
+	if !bytes.Equal(again, full) {
+		t.Fatal("no-op resume modified the file")
+	}
+}
+
+// TestResumeIgnoresStaleResults: edits to the matrix change content
+// keys, so resume must re-simulate rather than serve stale records.
+func TestResumeIgnoresStaleResults(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.jsonl")
+	m := testMatrix("stale")
+	m.Workloads = []string{"pagerank"}
+
+	sink, err := OpenSink(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Engine{Sink: sink}).Run(m); err != nil {
+		t.Fatal(err)
+	}
+	sink.Close()
+
+	m.Base.InstrPerCore = 80_000 // the sweep was edited
+	sink2, err := OpenSink(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := (Engine{Sink: sink2}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink2.Close()
+	if rs.Cached != 0 || rs.Executed != 4 {
+		t.Fatalf("stale resume cached %d / executed %d, want 0/4", rs.Cached, rs.Executed)
+	}
+
+	// The stale records must be pruned, not left ahead of the fresh
+	// ones: the resumed file must equal a from-scratch run's.
+	resumed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshPath := filepath.Join(dir, "fresh.jsonl")
+	sink3, err := OpenSink(freshPath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Engine{Sink: sink3}).Run(m); err != nil {
+		t.Fatal(err)
+	}
+	sink3.Close()
+	fresh, _ := os.ReadFile(freshPath)
+	if !bytes.Equal(resumed, fresh) {
+		t.Fatalf("stale resume left a dirty file:\n--- resumed ---\n%s--- fresh ---\n%s", resumed, fresh)
+	}
+}
+
+// TestResumeReusesBeyondBrokenPrefix: when an edit invalidates an early
+// job, later still-valid results are pruned from the file but reused by
+// content key — re-appended in order without re-simulation.
+func TestResumeReusesBeyondBrokenPrefix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.jsonl")
+	m := testMatrix("prefix")
+	m.Workloads = []string{"pagerank"}
+	m.Points = []Point{
+		{Label: "a"},
+		{Label: "b", Mutate: func(c *sim.Config) { c.InPkgLatScale = 0.66 }},
+	}
+
+	sink, err := OpenSink(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Engine{Sink: sink}).Run(m); err != nil {
+		t.Fatal(err)
+	}
+	sink.Close()
+
+	// Edit only point "a": its 2 jobs re-simulate; point "b"'s 2 jobs
+	// fall after the broken prefix but are reused by content key.
+	m.Points[0].Mutate = func(c *sim.Config) { c.InPkgLatScale = 0.9 }
+	sink2, err := OpenSink(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := (Engine{Sink: sink2}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink2.Close()
+	if rs.Executed != 2 || rs.Cached != 2 {
+		t.Fatalf("executed %d / cached %d, want 2/2", rs.Executed, rs.Cached)
+	}
+	if got := len(rs.Records()); got != 4 {
+		t.Fatalf("want 4 records, got %d", got)
+	}
+	// File must hold exactly the 4 current records, in order.
+	sink3, err := OpenSink(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink3.Close()
+	if got := len(sink3.Loaded()); got != 4 {
+		t.Fatalf("file holds %d records, want 4", got)
+	}
+	rs2, err := (Engine{Sink: sink3}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs2.Executed != 0 {
+		t.Fatalf("follow-up resume executed %d jobs", rs2.Executed)
+	}
+}
+
+// TestIdenticalConfigsSimulateOnce: two points that resolve to the same
+// config share one simulation but keep distinct records.
+func TestIdenticalConfigsSimulateOnce(t *testing.T) {
+	m := testMatrix("dedupe")
+	m.Workloads = []string{"pagerank"}
+	m.Schemes = []string{"NoCache"}
+	m.Points = []Point{
+		{Label: "a"},
+		{Label: "b"}, // same config, different label
+	}
+	rs, err := Engine{Parallelism: 2}.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Executed != 1 || rs.Cached != 1 {
+		t.Fatalf("executed %d / cached %d, want 1/1", rs.Executed, rs.Cached)
+	}
+	if len(rs.Records()) != 2 {
+		t.Fatalf("want 2 records, got %d", len(rs.Records()))
+	}
+	if rs.Get("a", "pagerank", "NoCache").Cycles != rs.Get("b", "pagerank", "NoCache").Cycles {
+		t.Fatal("deduped points disagree")
+	}
+}
+
+func TestEngineErrorSurfaces(t *testing.T) {
+	m := testMatrix("err")
+	m.Schemes = []string{"NoCache"}
+	m.Points = []Point{{Label: "bad", Mutate: func(c *sim.Config) { c.Scheme.Kind = "bogus" }}}
+	if _, err := (Engine{}).Run(m); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("expected build error, got %v", err)
+	}
+}
+
+func TestMatrixValidation(t *testing.T) {
+	if _, err := (Matrix{Name: "empty"}).Jobs(); err == nil {
+		t.Fatal("empty matrix enumerated")
+	}
+	m := testMatrix("badscheme")
+	m.Schemes = []string{"NotAScheme"}
+	if _, err := m.Jobs(); err == nil {
+		t.Fatal("unknown scheme enumerated")
+	}
+}
+
+// TestWorkStealing drains a lopsided matrix with more workers than
+// workloads — forcing steals — and checks every job completes exactly
+// once. Run under -race in CI to shake out pool races.
+func TestWorkStealing(t *testing.T) {
+	m := testMatrix("steal")
+	m.Workloads = []string{"pagerank"} // one queue, many workers
+	m.Schemes = []string{"NoCache", "CacheOnly", "TDC", "Banshee"}
+	rs, err := Engine{Parallelism: 4}.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rs.Records()); got != 8 {
+		t.Fatalf("want 8 records, got %d", got)
+	}
+	if rs.Executed != 8 {
+		t.Fatalf("executed %d, want 8", rs.Executed)
+	}
+}

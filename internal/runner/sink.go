@@ -1,0 +1,123 @@
+package runner
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Sink streams completed records to a JSONL file, one record per line,
+// flushed per line so an interrupted sweep loses at most a partial
+// trailing line. Opened with resume, it indexes the records already on
+// disk (repairing a torn tail) so the engine can skip finished jobs and
+// append the remainder — producing a file byte-identical to an
+// uninterrupted run.
+type Sink struct {
+	f      *os.File
+	w      *bufio.Writer
+	loaded []Record
+}
+
+// OpenSink opens (and if needed creates) the JSONL file at path. With
+// resume false any existing content is discarded; with resume true
+// existing complete records are loaded and the file is truncated to the
+// last complete line before appending resumes.
+func OpenSink(path string, resume bool) (*Sink, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("runner: sink dir: %w", err)
+		}
+	}
+	if !resume {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("runner: sink: %w", err)
+		}
+		return &Sink{f: f, w: bufio.NewWriter(f)}, nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runner: sink: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runner: sink: %w", err)
+	}
+	var loaded []Record
+	valid := 0
+	for len(data[valid:]) > 0 {
+		nl := bytes.IndexByte(data[valid:], '\n')
+		if nl < 0 {
+			break // torn trailing line from an interrupted run
+		}
+		line := data[valid : valid+nl]
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil || r.ID == "" {
+			break // corrupt tail; keep only the records before it
+		}
+		loaded = append(loaded, r)
+		valid += nl + 1
+	}
+	if valid < len(data) {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("runner: sink truncate: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(valid), 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runner: sink seek: %w", err)
+	}
+	return &Sink{f: f, w: bufio.NewWriter(f), loaded: loaded}, nil
+}
+
+// Loaded returns the records read at open time (resume only).
+func (s *Sink) Loaded() []Record { return s.loaded }
+
+// Rewrite replaces the file's contents with recs — used when a resumed
+// matrix no longer matches the file's record sequence (an edited
+// sweep), so stale records are pruned instead of accumulating behind
+// the fresh ones.
+func (s *Sink) Rewrite(recs []Record) error {
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("runner: sink rewrite: %w", err)
+	}
+	if err := s.f.Truncate(0); err != nil {
+		return fmt.Errorf("runner: sink rewrite: %w", err)
+	}
+	if _, err := s.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("runner: sink rewrite: %w", err)
+	}
+	s.w.Reset(s.f)
+	for _, r := range recs {
+		if err := s.Append(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Append writes one record as a JSON line and flushes it to disk.
+func (s *Sink) Append(r Record) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("runner: sink encode: %w", err)
+	}
+	if _, err := s.w.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("runner: sink write: %w", err)
+	}
+	return s.w.Flush()
+}
+
+// Close flushes and closes the file.
+func (s *Sink) Close() error {
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}

@@ -10,110 +10,45 @@
 // L3, workload footprints) down by Scale (1/16) while keeping Table 2's
 // bandwidths, latencies and per-core intensity unchanged. Relative
 // behavior — who wins and by what factor — is preserved; DESIGN.md §3
-// and EXPERIMENTS.md discuss the substitution.
+// discusses the substitution.
 package sim
 
 import (
 	"fmt"
-	"strings"
 
-	"banshee/internal/alloy"
-	"banshee/internal/banshee"
-	"banshee/internal/batman"
-	"banshee/internal/cameo"
 	"banshee/internal/dram"
-	"banshee/internal/hma"
 	"banshee/internal/mc"
 	"banshee/internal/mem"
-	"banshee/internal/schemes"
-	"banshee/internal/tdc"
-	"banshee/internal/unison"
+	"banshee/internal/registry"
 	"banshee/internal/vm"
 )
 
-// SchemeSpec selects and tunes the DRAM-cache scheme for a run.
-type SchemeSpec struct {
-	// Kind is one of: "nocache", "cacheonly", "alloy", "unison", "tdc",
-	// "hma", "banshee".
-	Kind string
-
-	// AlloyFillProb is Alloy's stochastic fill probability (1 or 0.1 in
-	// the paper). 0 defaults to 1.
-	AlloyFillProb float64
-
-	// Banshee tuning (zero values take Table 3 defaults).
-	BansheePolicy        banshee.Policy
-	BansheeWays          int
-	BansheeSamplingCoeff float64
-	BansheeThreshold     float64
-	BansheeLargePages    bool
-	BansheeFootprint     bool
-	BansheeTagBufEntries int
-
-	// PTEUpdateMicros overrides the tag-buffer flush routine cost
-	// (Table 5 sweeps 10/20/40 µs). 0 → 20 µs.
-	PTEUpdateMicros float64
-
-	// HMAEpochAccesses overrides HMA's epoch length in MC accesses.
-	HMAEpochAccesses uint64
-
-	// BATMAN wraps the scheme with bandwidth balancing (§5.4.2).
-	BATMAN bool
-}
+// SchemeSpec selects and tunes the DRAM-cache scheme for a run. It is
+// an alias of registry.Spec: scheme selection lives in the pluggable
+// registry, and sim only resolves and builds through it.
+type SchemeSpec = registry.Spec
 
 // ParseScheme maps the paper's display names to specs: "NoCache",
 // "CacheOnly", "Alloy 1", "Alloy 0.1", "Unison", "TDC", "HMA",
 // "Banshee", "Banshee LRU", "Banshee NoSample", "Banshee 2M", and the
 // extensions "Banshee Duel" (set dueling, §5.2 future work) and
-// "Banshee FP" (footprint caching, §6). A "+BATMAN" suffix wraps the
-// scheme with bandwidth balancing.
+// "Banshee FP" (footprint caching, §6) — plus any scheme registered
+// out-of-tree. A "+BATMAN" suffix wraps the scheme with bandwidth
+// balancing.
 func ParseScheme(name string) (SchemeSpec, error) {
-	var spec SchemeSpec
-	n := strings.TrimSpace(name)
-	if strings.HasSuffix(n, "+BATMAN") {
-		spec.BATMAN = true
-		n = strings.TrimSpace(strings.TrimSuffix(n, "+BATMAN"))
+	return registry.Parse(name)
+}
+
+// ResolveScheme parses a display name and overlays the tuning knobs
+// already set on base — the sweep contract shared by Run and the batch
+// runner: sweeps tune a scheme through Config.Scheme fields and still
+// select it by name.
+func ResolveScheme(name string, base SchemeSpec) (SchemeSpec, error) {
+	spec, err := registry.Parse(name)
+	if err != nil {
+		return SchemeSpec{}, err
 	}
-	switch n {
-	case "NoCache":
-		spec.Kind = "nocache"
-	case "CacheOnly":
-		spec.Kind = "cacheonly"
-	case "Alloy", "Alloy 1":
-		spec.Kind = "alloy"
-		spec.AlloyFillProb = 1
-	case "Alloy 0.1":
-		spec.Kind = "alloy"
-		spec.AlloyFillProb = 0.1
-	case "Unison":
-		spec.Kind = "unison"
-	case "TDC":
-		spec.Kind = "tdc"
-	case "CAMEO":
-		spec.Kind = "cameo"
-	case "HMA":
-		spec.Kind = "hma"
-	case "Banshee":
-		spec.Kind = "banshee"
-	case "Banshee LRU":
-		spec.Kind = "banshee"
-		spec.BansheePolicy = banshee.LRUReplaceOnMiss
-	case "Banshee NoSample":
-		spec.Kind = "banshee"
-		spec.BansheePolicy = banshee.FBRNoSample
-	case "Banshee Duel":
-		spec.Kind = "banshee"
-		spec.BansheePolicy = banshee.SetDueling
-	case "Banshee FP":
-		spec.Kind = "banshee"
-		spec.BansheeFootprint = true
-	case "Banshee 2M":
-		spec.Kind = "banshee"
-		spec.BansheeLargePages = true
-	default:
-		return spec, fmt.Errorf("sim: unknown scheme %q", name)
-	}
-	return spec, nil
+	return registry.Overlay(spec, base), nil
 }
 
 // Config is a full experiment configuration.
@@ -201,69 +136,23 @@ func (c Config) validate() error {
 	return nil
 }
 
-// buildScheme constructs the configured scheme, wiring Banshee to the
+// buildScheme constructs the configured scheme through the registry,
+// wiring Banshee (and any out-of-tree scheme that wants it) to the
 // system's page table and TLBs.
 func buildScheme(cfg Config, pt *vm.PageTable, tlbs []*vm.TLB) (mc.Scheme, error) {
 	cost := vm.DefaultCostModel(cfg.CPUMHz)
 	if cfg.Scheme.PTEUpdateMicros > 0 {
 		cost.PTEUpdateCycles = uint64(cfg.Scheme.PTEUpdateMicros * cfg.CPUMHz)
 	}
-	var s mc.Scheme
-	switch cfg.Scheme.Kind {
-	case "nocache":
-		s = schemes.NewNoCache()
-	case "cacheonly":
-		s = schemes.NewCacheOnly()
-	case "alloy":
-		p := cfg.Scheme.AlloyFillProb
-		if p == 0 {
-			p = 1
-		}
-		s = alloy.New(alloy.Config{CapacityBytes: cfg.DCacheBytes, FillProb: p, Seed: cfg.Seed})
-	case "unison":
-		s = unison.New(unison.Config{CapacityBytes: cfg.DCacheBytes, Ways: 4})
-	case "tdc":
-		s = tdc.New(tdc.Config{CapacityBytes: cfg.DCacheBytes})
-	case "cameo":
-		s = cameo.New(cameo.Config{CapacityBytes: cfg.DCacheBytes})
-	case "hma":
-		hcfg := hma.DefaultConfig(cfg.DCacheBytes)
-		if cfg.Scheme.HMAEpochAccesses > 0 {
-			hcfg.EpochAccesses = cfg.Scheme.HMAEpochAccesses
-		}
-		s = hma.New(hcfg)
-	case "banshee":
-		bcfg := banshee.DefaultConfig(cfg.DCacheBytes)
-		if cfg.Scheme.BansheeLargePages || cfg.LargePages {
-			bcfg = banshee.LargePageConfig(cfg.DCacheBytes)
-		}
-		bcfg.Seed = cfg.Seed
-		bcfg.Policy = cfg.Scheme.BansheePolicy
-		bcfg.Footprint = cfg.Scheme.BansheeFootprint
-		if bcfg.Policy == banshee.FBRNoSample {
-			// Counters must out-range the larger no-sampling threshold.
-			bcfg.CounterBits = 8
-		}
-		if cfg.Scheme.BansheeWays > 0 {
-			bcfg.Ways = cfg.Scheme.BansheeWays
-		}
-		if cfg.Scheme.BansheeSamplingCoeff > 0 {
-			bcfg.SamplingCoeff = cfg.Scheme.BansheeSamplingCoeff
-		}
-		if cfg.Scheme.BansheeThreshold > 0 {
-			bcfg.Threshold = cfg.Scheme.BansheeThreshold
-		}
-		if cfg.Scheme.BansheeTagBufEntries > 0 {
-			bcfg.TagBufferEntries = cfg.Scheme.BansheeTagBufEntries
-		}
-		s = banshee.New(bcfg, pt, tlbs, cost)
-	default:
-		return nil, fmt.Errorf("sim: unknown scheme kind %q", cfg.Scheme.Kind)
-	}
-	if cfg.Scheme.BATMAN {
-		s = batman.New(s, batman.Config{Seed: cfg.Seed})
-	}
-	return s, nil
+	return registry.Build(cfg.Scheme, registry.Env{
+		CapacityBytes: cfg.DCacheBytes,
+		Seed:          cfg.Seed,
+		CPUMHz:        cfg.CPUMHz,
+		LargePages:    cfg.LargePages,
+		PageTable:     pt,
+		TLBs:          tlbs,
+		Cost:          cost,
+	})
 }
 
 // dramConfigs builds the two DRAM models per Table 2 and the sweep
@@ -281,9 +170,10 @@ func dramConfigs(cfg Config) (inPkg, offPkg dram.Config) {
 }
 
 // SchemeNames lists the display names understood by ParseScheme that
-// the paper's main comparison uses (Fig. 4 bars).
+// the paper's main comparison uses (Fig. 4 bars), in rank order as
+// declared by the registered schemes.
 func SchemeNames() []string {
-	return []string{"NoCache", "Unison", "TDC", "Alloy 1", "Alloy 0.1", "Banshee", "CacheOnly"}
+	return registry.Comparison()
 }
 
 // lineMeta encodes the page-size bit carried on cached lines (§4.3) so

@@ -442,39 +442,13 @@ func subStats(a, b stats.Sim) stats.Sim {
 // preserved — so sweeps can tune a scheme and still select it by name.
 // Use RunConfig to run a fully hand-built Config verbatim.
 func Run(cfg Config, workload, scheme string) (stats.Sim, error) {
-	spec, err := ParseScheme(scheme)
+	spec, err := ResolveScheme(scheme, cfg.Scheme)
 	if err != nil {
 		return stats.Sim{}, err
 	}
-	// Preserve tuning knobs from the caller's spec.
-	t := cfg.Scheme
-	spec.AlloyFillProb = pick(t.AlloyFillProb, spec.AlloyFillProb)
-	spec.BansheeWays = pickInt(t.BansheeWays, spec.BansheeWays)
-	spec.BansheeSamplingCoeff = pick(t.BansheeSamplingCoeff, spec.BansheeSamplingCoeff)
-	spec.BansheeThreshold = pick(t.BansheeThreshold, spec.BansheeThreshold)
-	spec.BansheeTagBufEntries = pickInt(t.BansheeTagBufEntries, spec.BansheeTagBufEntries)
-	spec.PTEUpdateMicros = pick(t.PTEUpdateMicros, spec.PTEUpdateMicros)
-	if t.HMAEpochAccesses != 0 {
-		spec.HMAEpochAccesses = t.HMAEpochAccesses
-	}
-	spec.BansheeFootprint = spec.BansheeFootprint || t.BansheeFootprint
 	cfg.Workload = workload
 	cfg.Scheme = spec
 	return RunConfig(cfg)
-}
-
-func pick(override, base float64) float64 {
-	if override != 0 {
-		return override
-	}
-	return base
-}
-
-func pickInt(override, base int) int {
-	if override != 0 {
-		return override
-	}
-	return base
 }
 
 // RunConfig runs cfg exactly as given (cfg.Workload and cfg.Scheme must
