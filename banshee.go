@@ -37,6 +37,20 @@
 // "+SUFFIX"-style wrappers such as BATMAN) and are then selectable by
 // name everywhere — Run, Matrix.Schemes, and cmd/experiments.
 //
+// # Workload registry and trace capture/replay
+//
+// Workloads are table-driven like schemes: synthetic profiles, graph
+// kernels, and recorded trace files all resolve behind the
+// WorkloadSource contract, and out-of-tree sources join through
+// RegisterWorkload. RecordTrace captures any workload into a durable
+// .btrc trace file (internal/tracefile's chunked, checksummed, varint
+// format) and "file:<path>" workload names — accepted by Run,
+// Matrix.Workloads, and cmd/tracegen — replay it bit-identically:
+//
+//	err := banshee.RecordTrace("mcf.btrc", "mcf", banshee.RecordOptions{
+//		Cores: 16, Seed: 1, EventsPerCore: 4_000_000})
+//	res, err := banshee.Run(cfg, "file:mcf.btrc", "Banshee")
+//
 // For lower-level control (custom schemes, direct access to the tag
 // buffer, FBR metadata, DRAM timing, or the VM substrate), see the
 // internal packages; cmd/experiments regenerates every table and figure
@@ -53,6 +67,7 @@ import (
 	"banshee/internal/sim"
 	"banshee/internal/stats"
 	"banshee/internal/trace"
+	"banshee/internal/workload"
 )
 
 // Config is a full simulation configuration; see sim.Config for field
@@ -121,6 +136,70 @@ func RegisterScheme(def SchemeDef) { registry.Register(def) }
 // RegisterSchemeModifier adds a "+SUFFIX" wrapper (like the built-in
 // "+BATMAN") applicable to any registered scheme.
 func RegisterSchemeModifier(m SchemeModifier) { registry.RegisterModifier(m) }
+
+// WorkloadSource is a replayable multi-core reference stream — the
+// contract the simulator consumes for every workload kind.
+type WorkloadSource = workload.Source
+
+// WorkloadDef describes a registrable workload kind: a unique name
+// plus a resolver from workload names to sources.
+type WorkloadDef = workload.Def
+
+// WorkloadConfig carries the run parameters a workload source is
+// built with (cores, seed, footprint scale, intensity).
+type WorkloadConfig = workload.Config
+
+// RegisterWorkload adds an out-of-tree workload kind to the registry,
+// making its names selectable everywhere a workload name is accepted —
+// Run, Matrix.Workloads, and cmd/tracegen. It panics on duplicate
+// kinds or incomplete definitions; register at init time.
+func RegisterWorkload(def WorkloadDef) { workload.Register(def) }
+
+// RegisteredWorkloads returns every enumerable workload name the
+// registry currently answers to (recorded traces, being file paths,
+// are resolvable but not enumerable).
+func RegisteredWorkloads() []string { return workload.Names() }
+
+// RecordOptions parameterizes RecordTrace. Zero values take the
+// library defaults noted per field.
+type RecordOptions struct {
+	Cores         int     // per-core streams to record (0 = 16)
+	Seed          uint64  // generator seed
+	EventsPerCore uint64  // events recorded per core (0 = 1,000,000)
+	Scale         float64 // footprint scale factor (0 = the default 1/16)
+	Intensity     float64 // MemRatio multiplier (0 = 1.0)
+}
+
+// RecordTrace captures the named workload into a .btrc trace file at
+// path. Recording EventsPerCore ≥ the run's InstrPerCore guarantees a
+// later replay never wraps, because every event retires at least one
+// instruction. The file replays via the "file:<path>" workload name or
+// OpenTrace.
+func RecordTrace(path, workloadName string, o RecordOptions) error {
+	if o.Cores == 0 {
+		o.Cores = 16
+	}
+	if o.EventsPerCore == 0 {
+		o.EventsPerCore = 1_000_000
+	}
+	if o.Scale == 0 {
+		o.Scale = sim.ScaleFactor
+	}
+	if o.Intensity == 0 {
+		o.Intensity = 1.0
+	}
+	return workload.Record(path, workloadName, workload.Config{
+		Cores: o.Cores, Seed: o.Seed, Scale: o.Scale, Intensity: o.Intensity,
+	}, o.EventsPerCore)
+}
+
+// OpenTrace opens a recorded .btrc trace file as a replayable workload
+// source. The source also implements io.Closer; close it when done
+// (runs through "file:<path>" workload names close theirs
+// automatically).
+func OpenTrace(path string) (WorkloadSource, error) {
+	return workload.Open(workload.FilePrefix+path, workload.Config{})
+}
 
 // Matrix is a declarative batch of simulations: the cross product of
 // Workloads × Schemes × Points × Seeds over a base config.

@@ -8,7 +8,9 @@
 package banshee_test
 
 import (
+	"bytes"
 	"fmt"
+	"path/filepath"
 	"testing"
 
 	"banshee"
@@ -17,6 +19,7 @@ import (
 	"banshee/internal/dram"
 	"banshee/internal/mem"
 	"banshee/internal/trace"
+	"banshee/internal/tracefile"
 	"banshee/internal/vm"
 )
 
@@ -298,4 +301,111 @@ func BenchmarkEndToEnd(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// countWriter measures encoded bytes without storing them.
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// BenchmarkTraceFileEncode measures trace capture throughput: events
+// pre-generated once, encoded per iteration (varint+delta, chunk
+// framing, CRC). Reported as MB/s of encoded output plus events/s.
+func BenchmarkTraceFileEncode(b *testing.B) {
+	const n = 1 << 16
+	w, err := trace.New("mcf", 1, 1, trace.WithScale(1.0/16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	evs := make([]trace.Event, n)
+	for i := range evs {
+		evs[i] = w.Next(0)
+	}
+	var size int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cw := &countWriter{}
+		tw, err := tracefile.NewWriter(cw, tracefile.Meta{Name: "mcf", Cores: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, ev := range evs {
+			if err := tw.Append(0, ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := tw.Close(); err != nil {
+			b.Fatal(err)
+		}
+		size = cw.n
+	}
+	b.SetBytes(size)
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkTraceFileDecode measures replay throughput: a trace encoded
+// once, fully decoded per iteration (open, chunk loads, CRC checks,
+// varint+delta decode).
+func BenchmarkTraceFileDecode(b *testing.B) {
+	const n = 1 << 16
+	w, err := trace.New("mcf", 1, 1, trace.WithScale(1.0/16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tw, err := tracefile.NewWriter(&buf, tracefile.Meta{Name: "mcf", Cores: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := tw.Append(0, w.Next(0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := tracefile.NewReader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < n; j++ {
+			r.Next(0)
+		}
+		if err := r.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkTraceFileReplaySim measures an end-to-end replayed
+// simulation against the direct synthetic run it must match.
+func BenchmarkTraceFileReplaySim(b *testing.B) {
+	cfg := benchConfig()
+	cfg.InstrPerCore = 100_000
+	path := filepath.Join(b.TempDir(), "mcf.btrc")
+	err := banshee.RecordTrace(path, "mcf", banshee.RecordOptions{
+		Cores: cfg.Cores, Seed: cfg.Seed, EventsPerCore: cfg.InstrPerCore,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mustRun(b, cfg, "mcf", "Banshee")
+		}
+	})
+	b.Run("replay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mustRun(b, cfg, "file:"+path, "Banshee")
+		}
+	})
 }

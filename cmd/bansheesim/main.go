@@ -12,10 +12,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"banshee/internal/mem"
 	"banshee/internal/sim"
-	"banshee/internal/trace"
+	wl "banshee/internal/workload"
 )
 
 func main() {
@@ -31,7 +32,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, n := range trace.Names() {
+		for _, n := range wl.Names() {
 			fmt.Println(n)
 		}
 		return
@@ -45,6 +46,8 @@ func main() {
 	}
 	if *cores > 0 {
 		cfg.Cores = *cores
+	} else if strings.HasPrefix(*workload, wl.FilePrefix) {
+		cfg.Cores = 0 // adopt the recording's core count
 	}
 
 	st, err := sim.Run(cfg, *workload, *scheme)

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"banshee/internal/sim"
+	"banshee/internal/workload"
 )
 
 // testMatrix is small enough for unit tests but exercises every axis:
@@ -347,5 +348,42 @@ func TestWorkStealing(t *testing.T) {
 	}
 	if rs.Executed != 8 {
 		t.Fatalf("executed %d, want 8", rs.Executed)
+	}
+}
+
+func TestBatchOverRecordedTrace(t *testing.T) {
+	// Recorded traces are first-class batch workloads: a matrix mixing
+	// "file:<path>" and synthetic names runs them side by side, with
+	// concurrent jobs each opening their own reader over the same file,
+	// and the replayed jobs match the direct synthetic jobs exactly.
+	base := sim.DefaultConfig()
+	base.Cores = 2
+	base.InstrPerCore = 40_000
+	base.Seed = 11
+	path := filepath.Join(t.TempDir(), "gcc.btrc")
+	err := workload.Record(path, "gcc", workload.Config{
+		Cores: base.Cores, Seed: base.Seed, Scale: base.Scale, Intensity: base.Intensity,
+	}, base.InstrPerCore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Matrix{
+		Name:      "replay",
+		Base:      base,
+		Workloads: []string{"gcc", "file:" + path},
+		Schemes:   []string{"NoCache", "Banshee"},
+		Seeds:     []uint64{11},
+	}
+	rs, err := Engine{Parallelism: 4}.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range m.Schemes {
+		direct := rs.Get("", "gcc", scheme)
+		replayed := rs.Get("", "file:"+path, scheme)
+		replayed.Workload = direct.Workload
+		if direct != replayed {
+			t.Errorf("%s: replayed batch job differs from direct job", scheme)
+		}
 	}
 }

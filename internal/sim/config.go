@@ -118,8 +118,8 @@ func DefaultConfig() Config {
 
 func (c Config) validate() error {
 	switch {
-	case c.Cores <= 0:
-		return fmt.Errorf("sim: cores must be positive, got %d", c.Cores)
+	case c.Cores < 0:
+		return fmt.Errorf("sim: cores must be non-negative (0 adopts a trace file's recorded count), got %d", c.Cores)
 	case c.IssueWidth <= 0:
 		return fmt.Errorf("sim: issue width must be positive, got %d", c.IssueWidth)
 	case c.MSHRs <= 0:

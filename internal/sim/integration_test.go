@@ -1,9 +1,12 @@
 package sim
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"banshee/internal/mem"
+	"banshee/internal/workload"
 )
 
 // Integration tests: whole-system properties that only emerge from the
@@ -199,5 +202,154 @@ func TestWarmupWindowExcluded(t *testing.T) {
 	}
 	if windowed.Instructions >= full.Instructions {
 		t.Fatal("warmup instructions not excluded")
+	}
+}
+
+func TestRecordReplayIdenticalStats(t *testing.T) {
+	// The acceptance criterion of the capture/replay subsystem: running
+	// a recorded trace through the simulator must produce bit-identical
+	// statistics to running the synthetic workload directly with the
+	// same seed. Recording InstrPerCore events per core guarantees the
+	// replay never wraps (every event retires at least one instruction).
+	dir := t.TempDir()
+	cases := []struct {
+		wl    string
+		scale float64 // 0 = quickConfig default; kernels shrink their graphs
+	}{
+		{wl: "mcf"},                           // multiprogrammed, private address spaces
+		{wl: "pagerank"},                      // shared address space, per-core Zipf streams
+		{wl: "tri_count_kernel", scale: 1e-3}, // graph-kernel-derived stream
+	}
+	for _, tc := range cases {
+		wl := tc.wl
+		base := quickConfig(wl, "NoCache")
+		base.InstrPerCore = 60_000
+		if tc.scale != 0 {
+			base.Scale = tc.scale
+		}
+		path := filepath.Join(dir, wl+".btrc")
+		err := workload.Record(path, wl, workload.Config{
+			Cores: base.Cores, Seed: base.Seed, Scale: base.Scale, Intensity: base.Intensity,
+		}, base.InstrPerCore)
+		if err != nil {
+			t.Fatalf("%s: record: %v", wl, err)
+		}
+		for _, scheme := range []string{"Banshee", "Alloy 0.1"} {
+			cfg := quickConfig(wl, scheme)
+			cfg.InstrPerCore = base.InstrPerCore
+			cfg.Scale = base.Scale
+
+			direct, err := RunConfig(cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: direct: %v", wl, scheme, err)
+			}
+			rcfg := cfg
+			rcfg.Workload = workload.FilePrefix + path
+			replayed, err := RunConfig(rcfg)
+			if err != nil {
+				t.Fatalf("%s/%s: replay: %v", wl, scheme, err)
+			}
+			// The workload label necessarily differs ("file:<path>");
+			// every measurement must not.
+			replayed.Workload = direct.Workload
+			if direct != replayed {
+				t.Errorf("%s/%s: replayed stats differ from direct run:\ndirect:   %+v\nreplayed: %+v",
+					wl, scheme, direct, replayed)
+			}
+		}
+	}
+}
+
+func TestReplayCoreMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.btrc")
+	err := workload.Record(path, "gcc", workload.Config{Cores: 2, Seed: 1, Scale: 1e-3, Intensity: 1}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig("gcc", "NoCache")
+	cfg.Workload = workload.FilePrefix + path // cfg.Cores is 4
+	if _, err := NewSystem(cfg); err == nil {
+		t.Fatal("core-count mismatch between recording and config accepted")
+	}
+}
+
+func TestReplayCorruptTraceFails(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.btrc")
+	cfg := quickConfig("gcc", "NoCache")
+	cfg.InstrPerCore = 20_000
+	err := workload.Record(path, "gcc", workload.Config{
+		Cores: cfg.Cores, Seed: cfg.Seed, Scale: cfg.Scale, Intensity: cfg.Intensity,
+	}, cfg.InstrPerCore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte in core 0's first chunk — one the run is
+	// guaranteed to load: Open still succeeds (chunks load lazily and
+	// only the index is validated up front) but the run must fail
+	// instead of returning stats over a corrupted stream.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[100] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workload = workload.FilePrefix + path
+	if _, err := RunConfig(cfg); err == nil {
+		t.Fatal("corrupt trace replayed without error")
+	}
+}
+
+func TestReplayShorterThanRunFails(t *testing.T) {
+	// A recording shorter than the run would wrap and replay with
+	// artificial periodicity; the run must fail instead of returning
+	// misleading stats.
+	path := filepath.Join(t.TempDir(), "short.btrc")
+	cfg := quickConfig("gcc", "NoCache")
+	cfg.InstrPerCore = 50_000
+	err := workload.Record(path, "gcc", workload.Config{
+		Cores: cfg.Cores, Seed: cfg.Seed, Scale: cfg.Scale, Intensity: cfg.Intensity,
+	}, 200) // far fewer events than the run consumes
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workload = workload.FilePrefix + path
+	if _, err := RunConfig(cfg); err == nil {
+		t.Fatal("wrapped replay returned stats instead of an error")
+	}
+}
+
+func TestReplayAdoptsRecordedCores(t *testing.T) {
+	// Cores == 0 adopts a trace file's recorded core count, so callers
+	// can replay a file without knowing its shape up front.
+	path := filepath.Join(t.TempDir(), "t.btrc")
+	cfg := quickConfig("gcc", "NoCache")
+	cfg.InstrPerCore = 30_000
+	cfg.Cores = 2
+	rec := workload.Config{Cores: cfg.Cores, Seed: cfg.Seed, Scale: cfg.Scale, Intensity: cfg.Intensity}
+	if err := workload.Record(path, "gcc", rec, 30_000); err != nil {
+		t.Fatal(err)
+	}
+	direct, err := RunConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workload = workload.FilePrefix + path
+	cfg.Cores = 0 // adopt
+	adopted, err := RunConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adopted.Workload = direct.Workload
+	if direct != adopted {
+		t.Fatal("adopted-cores replay differs from direct 2-core run")
+	}
+	// Synthetic workloads have no recorded shape; 0 must still error.
+	cfg.Workload = "gcc"
+	if _, err := NewSystem(cfg); err == nil {
+		t.Fatal("cores=0 accepted for a synthetic workload")
 	}
 }

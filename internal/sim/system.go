@@ -3,15 +3,16 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"io"
 
 	"banshee/internal/cache"
 	"banshee/internal/dram"
 	"banshee/internal/mc"
 	"banshee/internal/mem"
 	"banshee/internal/stats"
-	"banshee/internal/trace"
 	"banshee/internal/util"
 	"banshee/internal/vm"
+	"banshee/internal/workload"
 )
 
 // core is one simulated CPU's replay state.
@@ -36,7 +37,7 @@ type core struct {
 // parallel instead.
 type System struct {
 	cfg    Config
-	work   *trace.Workload
+	work   workload.Source
 	cores  []*core
 	l3     *cache.Cache
 	pt     *vm.PageTable
@@ -57,10 +58,20 @@ func NewSystem(cfg Config) (*System, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	w, err := trace.New(cfg.Workload, cfg.Cores, cfg.Seed,
-		trace.WithScale(cfg.Scale), trace.WithIntensity(cfg.Intensity))
+	// Workload streams come from the workload registry: synthetic
+	// generators, graph kernels, and "file:<path>" recorded traces all
+	// resolve to the same Source contract. Cores == 0 adopts the
+	// source's own shape — recorded traces carry their core count, so
+	// callers need not know it up front (synthetic sources require an
+	// explicit count and reject 0).
+	w, err := workload.Open(cfg.Workload, workload.Config{
+		Cores: cfg.Cores, Seed: cfg.Seed, Scale: cfg.Scale, Intensity: cfg.Intensity,
+	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Cores == 0 {
+		cfg.Cores = w.Cores()
 	}
 	pt := vm.NewPageTable()
 	pt.DefaultLarge = cfg.LargePages
@@ -98,6 +109,11 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	scheme, err := buildScheme(cfg, pt, tlbs)
 	if err != nil {
+		// The source may hold a trace file open; don't leak it on a
+		// failed assembly (success hands ownership to Run's defer).
+		if c, ok := w.(io.Closer); ok {
+			c.Close()
+		}
 		return nil, err
 	}
 	s.scheme = scheme
@@ -132,9 +148,16 @@ func (h *coreHeap) Pop() interface{} {
 	return c
 }
 
+// Workload returns the source driving the system (diagnostics, tests).
+func (s *System) Workload() workload.Source { return s.work }
+
 // Run replays the workload to the instruction budget and returns the
-// measured statistics (post-warmup window).
+// measured statistics (post-warmup window). Sources holding external
+// resources (replayed trace files) are released when the run ends.
 func (s *System) Run() stats.Sim {
+	if c, ok := s.work.(io.Closer); ok {
+		defer c.Close()
+	}
 	h := make(coreHeap, 0, len(s.cores))
 	for _, c := range s.cores {
 		h = append(h, c)
@@ -458,5 +481,21 @@ func RunConfig(cfg Config) (stats.Sim, error) {
 	if err != nil {
 		return stats.Sim{}, err
 	}
-	return sys.Run(), nil
+	st := sys.Run()
+	// Replayed trace files latch decode errors instead of panicking
+	// mid-run; surface them here so a corrupt trace fails the run
+	// rather than yielding stats over a truncated stream. A wrapped
+	// replay is equally disqualifying: the stream restarted mid-run, so
+	// the stats carry artificial periodicity the recording never had.
+	if e, ok := sys.work.(interface{ Err() error }); ok {
+		if err := e.Err(); err != nil {
+			return stats.Sim{}, err
+		}
+	}
+	if wr, ok := sys.work.(interface{ Wrapped() bool }); ok && wr.Wrapped() {
+		return stats.Sim{}, fmt.Errorf(
+			"sim: trace replay wrapped: %q records fewer events than the run consumed (record more events per core or lower InstrPerCore)",
+			cfg.Workload)
+	}
+	return st, nil
 }

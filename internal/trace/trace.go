@@ -219,16 +219,21 @@ func New(name string, cores int, seed uint64, opts ...Option) (*Workload, error)
 	}
 	p, ok := profiles[name]
 	if !ok {
-		return nil, fmt.Errorf("trace: unknown workload %q", name)
+		return nil, fmt.Errorf("trace: unknown workload %q (valid: %s)",
+			name, strings.Join(ValidNames(), ", "))
 	}
 	w := &Workload{name: name, shared: p.Shared}
 	root := util.NewRNG(seed ^ hashName(name))
 	if p.Shared {
 		pages := footprintPages(p, o)
-		zipfShared := util.NewZipf(root.Fork(), zipfSupport(pages), p.ZipfS)
 		for c := 0; c < cores; c++ {
 			g := makeGen(p, o, root.Fork(), 0, pages)
-			g.zipf = zipfShared // shared popularity distribution
+			// Cores share the popularity distribution (the alias table
+			// is cached by (n, s)) but draw from per-core RNG streams:
+			// a core's stream must depend only on (name, cores, seed),
+			// never on the order cores are polled in — the replay
+			// contract trace capture relies on (see internal/workload).
+			g.zipf = util.NewZipf(root.Fork(), zipfSupport(pages), p.ZipfS)
 			// Spread streaming cursors so threads cover different parts,
 			// as parallel graph kernels do.
 			g.cursor = pages * uint64(c) / uint64(cores)
@@ -353,7 +358,12 @@ func KernelNames() []string {
 func (w *Workload) Name() string { return w.name }
 
 // Cores returns the number of per-core streams.
-func (w *Workload) Cores() int { return len(w.cores) }
+func (w *Workload) Cores() int {
+	if w.kernels != nil {
+		return len(w.kernels)
+	}
+	return len(w.cores)
+}
 
 // Shared reports whether all cores share one address space.
 func (w *Workload) Shared() bool { return w.shared }
@@ -482,4 +492,35 @@ func AllProfiles() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// ValidNames returns every name New accepts — profiles, mixes, and
+// graph-kernel variants — sorted. Unknown-workload errors cite it.
+func ValidNames() []string {
+	out := make([]string, 0, len(profiles)+len(mixes)+len(GraphNames()))
+	for n := range profiles {
+		out = append(out, n)
+	}
+	for n := range mixes {
+		out = append(out, n)
+	}
+	out = append(out, KernelNames()...)
+	sort.Strings(out)
+	return out
+}
+
+// Known reports whether New would accept name.
+func Known(name string) bool {
+	if _, ok := profiles[name]; ok {
+		return true
+	}
+	if _, ok := mixes[name]; ok {
+		return true
+	}
+	if kernel, ok := strings.CutSuffix(name, "_kernel"); ok {
+		if p, ok := profiles[kernel]; ok && p.Shared {
+			return true
+		}
+	}
+	return false
 }

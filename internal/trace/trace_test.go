@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"strings"
 	"testing"
 
 	"banshee/internal/mem"
@@ -303,5 +304,53 @@ func TestAllProfilesListed(t *testing.T) {
 	all := AllProfiles()
 	if len(all) != 17 { // 13 named + 4 mix-only members
 		t.Fatalf("AllProfiles returned %d entries", len(all))
+	}
+}
+
+func TestUnknownWorkloadErrorListsNames(t *testing.T) {
+	_, err := New("nosuch", 4, 1)
+	if err == nil {
+		t.Fatal("unknown workload did not error")
+	}
+	// The message must cite every valid name so a typo is diagnosable
+	// from the error alone.
+	for _, n := range ValidNames() {
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("error does not cite valid name %q: %v", n, err)
+		}
+	}
+}
+
+func TestValidNamesAllBuild(t *testing.T) {
+	for _, n := range ValidNames() {
+		if !Known(n) {
+			t.Errorf("ValidNames lists %q but Known rejects it", n)
+		}
+		// Tiny scale keeps kernel-workload graphs at their floor size.
+		if _, err := New(n, 2, 1, WithScale(1e-4)); err != nil {
+			t.Errorf("valid name %q failed to build: %v", n, err)
+		}
+	}
+	if Known("nosuch") {
+		t.Error("Known accepted an invalid name")
+	}
+}
+
+func TestSharedStreamsPollOrderIndependent(t *testing.T) {
+	// The replay contract: a core's stream depends only on (name,
+	// cores, seed) — polling other cores in between must not perturb
+	// it, including for shared-address-space workloads.
+	a, _ := New("pagerank", 4, 7)
+	b, _ := New("pagerank", 4, 7)
+	var seq []Event
+	for i := 0; i < 2000; i++ {
+		seq = append(seq, a.Next(1))
+	}
+	for i := 0; i < 2000; i++ {
+		b.Next(0)
+		b.Next(3)
+		if ev := b.Next(1); ev != seq[i] {
+			t.Fatalf("core 1 stream perturbed by other cores at event %d: %+v != %+v", i, ev, seq[i])
+		}
 	}
 }

@@ -1,0 +1,128 @@
+// Package tracefile is the on-disk trace format (.btrc) of the
+// capture/replay subsystem: a compact, versioned, checksummed binary
+// encoding of per-core memory-reference streams. A recorded workload
+// replays bit-identically through the simulator, so pin-style traces —
+// or expensive synthetic streams — become durable artifacts that sweeps
+// replay instead of regenerating.
+//
+// # Layout (version 1, all integers little-endian)
+//
+//	header   "BTRC" u16:version u16:flags u32:cores u32:nameLen
+//	         u64:footprintBytes u32:crc32c u32:reserved(0)  [nameLen]name
+//	         (crc32c covers the 24 header bytes before it plus the name)
+//	chunks   repeated frames, each:
+//	         "CHNK" u32:core u32:events u32:payloadLen u32:crc32c  [payload]
+//	index    "INDX" u32:chunkCount  chunkCount × entry  u32:crc32c(entries)
+//	         entry: u64:offset u64:firstEvent u32:core u32:events u32:payloadLen
+//	footer   u64:indexOffset u64:totalEvents u32:crc32c(prev 16 bytes) "BTRE"
+//
+// Events are encoded inside a chunk as two uvarints each:
+//
+//	v1 = gap<<1 | writeBit
+//	v2 = zigzag(addr − prevAddr)
+//
+// where prevAddr resets to 0 at every chunk boundary, making each chunk
+// independently decodable from its index entry. Chunks hold up to
+// ChunkEvents events of one core's stream; a typical synthetic stream
+// encodes to ~3 bytes/event.
+//
+// The Writer streams to any io.Writer (index and footer are emitted at
+// Close, so no seeking is needed) and the Reader replays from any
+// io.ReaderAt, loading one chunk per core at a time into preallocated
+// buffers — multi-GB traces replay without being held in memory and
+// the steady-state Next path performs zero allocations. Every chunk
+// payload is CRC-32C-checked when loaded; the index and footer are
+// checked at Open. DESIGN.md §8 documents the format in full.
+package tracefile
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Format constants. Version bumps when the layout or event encoding
+// changes; readers reject versions they do not understand.
+const (
+	Version = 1
+
+	// ChunkEvents is the number of events per full chunk. Smaller chunks
+	// seek finer but pay more framing; 4096 events ≈ 12 KB keeps both
+	// negligible.
+	ChunkEvents = 4096
+
+	// MaxCores bounds the per-core state a reader allocates from an
+	// untrusted header.
+	MaxCores = 4096
+)
+
+// Section magics.
+var (
+	magicHeader = [4]byte{'B', 'T', 'R', 'C'}
+	magicChunk  = [4]byte{'C', 'H', 'N', 'K'}
+	magicIndex  = [4]byte{'I', 'N', 'D', 'X'}
+	magicEnd    = [4]byte{'B', 'T', 'R', 'E'}
+)
+
+// Fixed section sizes.
+const (
+	headerFixedLen = 32
+	chunkFrameLen  = 20 // magic + core + events + payloadLen + crc
+	indexEntryLen  = 28 // offset + firstEvent + core + events + payloadLen
+	footerLen      = 24 // indexOffset + totalEvents + crc + end magic
+)
+
+// Header flag bits.
+const flagShared = 1 << 0
+
+// castagnoli is the CRC-32C table shared by writer and reader.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Meta describes the recorded workload. It is written into the header
+// and recovered verbatim on open.
+type Meta struct {
+	// Name is the recorded workload's name (e.g. "mcf"), not the file
+	// path.
+	Name string
+	// Cores is the number of per-core streams in the trace.
+	Cores int
+	// Shared marks a shared address space (multithreaded workloads).
+	Shared bool
+	// Footprint is the workload's declared footprint in bytes.
+	Footprint uint64
+}
+
+// ErrCorrupt is wrapped by every structural-damage error the decoder
+// returns, so callers can distinguish corruption from I/O failures.
+var ErrCorrupt = errors.New("corrupt trace file")
+
+func corruptf(format string, args ...interface{}) error {
+	return fmt.Errorf("tracefile: %w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// zigzag folds a signed delta into an unsigned varint-friendly value.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Little-endian scratch helpers. encoding/binary's ByteOrder methods
+// are equivalent but these keep the call sites terse.
+func putU16(b []byte, v uint16) { b[0] = byte(v); b[1] = byte(v >> 8) }
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+func putU64(b []byte, v uint64) {
+	putU32(b, uint32(v))
+	putU32(b[4:], uint32(v>>32))
+}
+func getU16(b []byte) uint16 { return uint16(b[0]) | uint16(b[1])<<8 }
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+func getU64(b []byte) uint64 {
+	return uint64(getU32(b)) | uint64(getU32(b[4:]))<<32
+}

@@ -1,0 +1,341 @@
+package tracefile_test
+
+import (
+	"bytes"
+	"testing"
+
+	"banshee/internal/trace"
+	"banshee/internal/tracefile"
+	"banshee/internal/workload"
+)
+
+// recordBytes captures eventsPerCore events of every core of src into
+// an in-memory trace, appending round-robin (the same order
+// workload.Record uses, so files are comparable byte-for-byte).
+func recordBytes(t testing.TB, src workload.Source, eventsPerCore int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	meta := tracefile.Meta{Name: src.Name(), Cores: src.Cores(), Footprint: src.Footprint()}
+	if sh, ok := src.(interface{ Shared() bool }); ok {
+		meta.Shared = sh.Shared()
+	}
+	w, err := tracefile.NewWriter(&buf, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < eventsPerCore; e++ {
+		for c := 0; c < src.Cores(); c++ {
+			if err := w.Append(c, src.Next(c)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func openBytes(t testing.TB, data []byte) *tracefile.Reader {
+	t.Helper()
+	r, err := tracefile.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// smallCfg keeps every workload — including the graph-kernel variants,
+// whose backing graphs hit their 4096-vertex floor at this scale —
+// cheap enough to round-trip in a unit test.
+var smallCfg = workload.Config{Cores: 2, Seed: 5, Scale: 1e-4, Intensity: 1}
+
+// TestRoundTripAllWorkloads records every registered workload, replays
+// it, and checks (a) the replayed events equal a freshly generated
+// stream and (b) re-encoding the replayed stream reproduces the file
+// byte-for-byte.
+func TestRoundTripAllWorkloads(t *testing.T) {
+	const perCore = 1500
+	for _, name := range workload.Names() {
+		src, err := workload.Open(name, smallCfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		data := recordBytes(t, src, perCore)
+
+		// Replayed events must equal a second, independent generation.
+		r := openBytes(t, data)
+		if r.Name() != name || r.Cores() != smallCfg.Cores {
+			t.Fatalf("%s: meta lost: %q/%d cores", name, r.Name(), r.Cores())
+		}
+		fresh, err := workload.Open(name, smallCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < perCore; e++ {
+			for c := 0; c < smallCfg.Cores; c++ {
+				got, want := r.Next(c), fresh.Next(c)
+				if got != want {
+					t.Fatalf("%s: core %d event %d: replayed %+v, generated %+v", name, c, e, got, want)
+				}
+			}
+		}
+		if err := r.Err(); err != nil {
+			t.Fatalf("%s: replay error: %v", name, err)
+		}
+		if r.Wrapped() {
+			t.Fatalf("%s: replay wrapped within recorded length", name)
+		}
+
+		// Re-encoding the replayed stream must reproduce the bytes.
+		r.Rewind()
+		var buf2 bytes.Buffer
+		w2, err := tracefile.NewWriter(&buf2, r.Meta())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < perCore; e++ {
+			for c := 0; c < smallCfg.Cores; c++ {
+				if err := w2.Append(c, r.Next(c)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := w2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, buf2.Bytes()) {
+			t.Fatalf("%s: re-encode not byte-identical (%d vs %d bytes)", name, len(data), buf2.Len())
+		}
+	}
+}
+
+// TestRecordDeterminism pins capture determinism: the same (name,
+// cores, seed) records byte-identical files, and a different seed
+// records a different stream.
+func TestRecordDeterminism(t *testing.T) {
+	mk := func(seed uint64) []byte {
+		cfg := smallCfg
+		cfg.Seed = seed
+		src, err := workload.Open("mcf", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recordBytes(t, src, 2000)
+	}
+	a, b := mk(5), mk(5)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed did not record byte-identical files")
+	}
+	if bytes.Equal(a, mk(6)) {
+		t.Fatal("different seeds recorded identical files")
+	}
+}
+
+// TestMultiChunkStreams exercises streams long enough to span several
+// chunks per core, including the partial tail chunk.
+func TestMultiChunkStreams(t *testing.T) {
+	const perCore = 3*tracefile.ChunkEvents + 100
+	src, err := workload.Open("gcc", smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := recordBytes(t, src, perCore)
+	r := openBytes(t, data)
+	if got := r.CoreEvents(0); got != perCore {
+		t.Fatalf("core 0 recorded %d events, want %d", got, perCore)
+	}
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := workload.Open("gcc", smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < perCore; e++ {
+		for c := 0; c < smallCfg.Cores; c++ {
+			if got, want := r.Next(c), fresh.Next(c); got != want {
+				t.Fatalf("core %d event %d: %+v != %+v", c, e, got, want)
+			}
+		}
+	}
+}
+
+// TestWrapAround: an exhausted stream restarts from its beginning and
+// reports Wrapped.
+func TestWrapAround(t *testing.T) {
+	const perCore = 100
+	src, err := workload.Open("gcc", workload.Config{Cores: 1, Seed: 9, Scale: 1e-4, Intensity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := recordBytes(t, src, perCore)
+	r := openBytes(t, data)
+	var first [perCore]trace.Event
+	for i := range first {
+		first[i] = r.Next(0)
+	}
+	if r.Wrapped() {
+		t.Fatal("wrapped before stream end")
+	}
+	for i := 0; i < perCore; i++ {
+		if ev := r.Next(0); ev != first[i] {
+			t.Fatalf("wrapped event %d: %+v != %+v", i, ev, first[i])
+		}
+	}
+	if !r.Wrapped() {
+		t.Fatal("wrap not reported")
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRewind resets replay to the start of every stream.
+func TestRewind(t *testing.T) {
+	src, err := workload.Open("mcf", smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := openBytes(t, recordBytes(t, src, 500))
+	a0, a1 := r.Next(0), r.Next(1)
+	for i := 0; i < 300; i++ {
+		r.Next(0)
+		r.Next(1)
+	}
+	r.Rewind()
+	if got := r.Next(0); got != a0 {
+		t.Fatalf("rewound core 0: %+v != %+v", got, a0)
+	}
+	if got := r.Next(1); got != a1 {
+		t.Fatalf("rewound core 1: %+v != %+v", got, a1)
+	}
+	if r.Wrapped() {
+		t.Fatal("Rewind did not clear wrap marker")
+	}
+}
+
+// TestReaderZeroAlloc pins the acceptance criterion: the steady-state
+// replay path — including chunk reloads, which hit the preallocated
+// per-core buffers — performs zero allocations per Next.
+func TestReaderZeroAlloc(t *testing.T) {
+	src, err := workload.Open("mcf", workload.Config{Cores: 2, Seed: 3, Scale: 1e-3, Intensity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := recordBytes(t, src, 2*tracefile.ChunkEvents+500)
+	r := openBytes(t, data)
+	for i := 0; i < 100; i++ {
+		r.Next(0)
+		r.Next(1)
+	}
+	var c int
+	avg := testing.AllocsPerRun(3*tracefile.ChunkEvents, func() {
+		r.Next(c & 1)
+		c++
+	})
+	if avg != 0 {
+		t.Fatalf("Reader.Next allocates %v per event, want 0", avg)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEveryByteFlipDetected: all four sections (header, chunks, index,
+// footer) are checksummed, so corrupting any single byte of a trace
+// must be detected by Open or Verify.
+func TestEveryByteFlipDetected(t *testing.T) {
+	src, err := workload.Open("gcc", workload.Config{Cores: 1, Seed: 2, Scale: 1e-4, Intensity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := recordBytes(t, src, 300)
+	for i := range data {
+		mut := bytes.Clone(data)
+		mut[i] ^= 0xFF
+		r, err := tracefile.NewReader(bytes.NewReader(mut), int64(len(mut)))
+		if err == nil {
+			err = r.Verify()
+		}
+		if err == nil {
+			t.Errorf("byte flip at offset %d undetected", i)
+		}
+	}
+}
+
+// TestTruncationsRejected: every proper prefix of a trace must fail to
+// open (the footer is gone or misplaced).
+func TestTruncationsRejected(t *testing.T) {
+	src, err := workload.Open("gcc", workload.Config{Cores: 1, Seed: 2, Scale: 1e-4, Intensity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := recordBytes(t, src, 300)
+	for n := 0; n < len(data); n++ {
+		if _, err := tracefile.NewReader(bytes.NewReader(data[:n]), int64(n)); err == nil {
+			t.Fatalf("truncation to %d/%d bytes accepted", n, len(data))
+		}
+	}
+}
+
+// TestWriterValidation covers the writer's misuse errors.
+func TestWriterValidation(t *testing.T) {
+	if _, err := tracefile.NewWriter(&bytes.Buffer{}, tracefile.Meta{Cores: 0}); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := tracefile.NewWriter(&bytes.Buffer{}, tracefile.Meta{Cores: tracefile.MaxCores + 1}); err == nil {
+		t.Error("excessive cores accepted")
+	}
+	w, err := tracefile.NewWriter(&bytes.Buffer{}, tracefile.Meta{Name: "x", Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(2, trace.Event{}); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+	if err := w.Append(0, trace.Event{Gap: -1}); err == nil {
+		t.Error("negative gap accepted")
+	}
+	if err := w.Append(0, trace.Event{Gap: 1, Addr: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(0, trace.Event{}); err == nil {
+		t.Error("Append after Close accepted")
+	}
+}
+
+// TestFileRoundTrip exercises the Create/Open file path (as opposed to
+// the in-memory Writer/Reader used elsewhere).
+func TestFileRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/t.btrc"
+	cfg := workload.Config{Cores: 2, Seed: 11, Scale: 1e-4, Intensity: 1}
+	if err := workload.Record(path, "soplex", cfg, 1200); err != nil {
+		t.Fatal(err)
+	}
+	r, err := tracefile.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Name() != "soplex" || r.Cores() != 2 || r.TotalEvents() != 2400 {
+		t.Fatalf("meta mismatch: %q %d cores %d events", r.Name(), r.Cores(), r.TotalEvents())
+	}
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := workload.Open("soplex", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 1200; e++ {
+		for c := 0; c < 2; c++ {
+			if got, want := r.Next(c), fresh.Next(c); got != want {
+				t.Fatalf("core %d event %d: %+v != %+v", c, e, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package tracefile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"banshee/internal/trace"
+)
+
+// Writer streams a trace to an io.Writer. Events are buffered per core
+// and emitted as framed chunks; the index and footer are written at
+// Close, so the destination never needs to seek. The steady-state
+// Append path reuses per-core buffers and allocates nothing once they
+// have grown to chunk size.
+//
+// Chunks appear in the file in flush order: a core's chunk is emitted
+// the moment its buffer reaches ChunkEvents, and partial tail chunks
+// are emitted at Close in core order. The same append sequence
+// therefore always produces byte-identical files — the determinism the
+// golden and round-trip tests pin.
+type Writer struct {
+	dst    io.Writer
+	closer io.Closer // set when the Writer owns the destination file
+	meta   Meta
+	off    uint64 // bytes written so far
+	cores  []coreEnc
+	index  []indexEntry
+	total  uint64
+	closed bool
+	err    error
+}
+
+type coreEnc struct {
+	buf     []byte
+	events  uint32
+	prev    uint64 // previous event's address (delta base)
+	written uint64 // events already flushed (firstEvent counter)
+}
+
+type indexEntry struct {
+	offset     uint64
+	firstEvent uint64
+	core       uint32
+	events     uint32
+	payloadLen uint32
+}
+
+// NewWriter starts a trace on w. The header is written immediately.
+func NewWriter(w io.Writer, meta Meta) (*Writer, error) {
+	if meta.Cores <= 0 || meta.Cores > MaxCores {
+		return nil, fmt.Errorf("tracefile: core count %d out of [1,%d]", meta.Cores, MaxCores)
+	}
+	if len(meta.Name) > 1<<10 {
+		return nil, fmt.Errorf("tracefile: workload name too long (%d bytes)", len(meta.Name))
+	}
+	tw := &Writer{dst: w, meta: meta, cores: make([]coreEnc, meta.Cores)}
+	for i := range tw.cores {
+		tw.cores[i].buf = make([]byte, 0, ChunkEvents*4)
+	}
+	var hdr [headerFixedLen]byte
+	copy(hdr[0:], magicHeader[:])
+	putU16(hdr[4:], Version)
+	var flags uint16
+	if meta.Shared {
+		flags |= flagShared
+	}
+	putU16(hdr[6:], flags)
+	putU32(hdr[8:], uint32(meta.Cores))
+	putU32(hdr[12:], uint32(len(meta.Name)))
+	putU64(hdr[16:], meta.Footprint)
+	crc := crc32.Checksum(hdr[:24], castagnoli)
+	crc = crc32.Update(crc, castagnoli, []byte(meta.Name))
+	putU32(hdr[24:], crc)
+	putU32(hdr[28:], 0) // reserved
+	if err := tw.write(hdr[:]); err != nil {
+		return nil, err
+	}
+	if err := tw.write([]byte(meta.Name)); err != nil {
+		return nil, err
+	}
+	return tw, nil
+}
+
+// Create opens path and starts a trace on it, buffering writes. Close
+// flushes and closes the file.
+func Create(path string, meta Meta) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	tw, err := NewWriter(bw, meta)
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	tw.closer = &fileFlusher{bw: bw, f: f}
+	return tw, nil
+}
+
+// fileFlusher flushes the bufio layer before closing the file.
+type fileFlusher struct {
+	bw *bufio.Writer
+	f  *os.File
+}
+
+func (ff *fileFlusher) Close() error {
+	if err := ff.bw.Flush(); err != nil {
+		ff.f.Close()
+		return err
+	}
+	return ff.f.Close()
+}
+
+// Append records core's next event. Events of one core must be
+// appended in stream order; cores may interleave arbitrarily.
+func (w *Writer) Append(core int, ev trace.Event) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return fmt.Errorf("tracefile: Append after Close")
+	}
+	if core < 0 || core >= len(w.cores) {
+		return fmt.Errorf("tracefile: core %d out of range [0,%d)", core, len(w.cores))
+	}
+	if ev.Gap < 0 {
+		return fmt.Errorf("tracefile: negative gap %d", ev.Gap)
+	}
+	c := &w.cores[core]
+	v1 := uint64(ev.Gap) << 1
+	if ev.Write {
+		v1 |= 1
+	}
+	c.buf = binary.AppendUvarint(c.buf, v1)
+	c.buf = binary.AppendUvarint(c.buf, zigzag(int64(uint64(ev.Addr)-c.prev)))
+	c.prev = uint64(ev.Addr)
+	c.events++
+	w.total++
+	if c.events == ChunkEvents {
+		return w.flushChunk(core)
+	}
+	return nil
+}
+
+// flushChunk frames core's pending buffer out to the destination.
+func (w *Writer) flushChunk(core int) error {
+	c := &w.cores[core]
+	if c.events == 0 {
+		return nil
+	}
+	var frame [chunkFrameLen]byte
+	copy(frame[0:], magicChunk[:])
+	putU32(frame[4:], uint32(core))
+	putU32(frame[8:], c.events)
+	putU32(frame[12:], uint32(len(c.buf)))
+	putU32(frame[16:], crc32.Checksum(c.buf, castagnoli))
+	w.index = append(w.index, indexEntry{
+		offset:     w.off,
+		firstEvent: c.written,
+		core:       uint32(core),
+		events:     c.events,
+		payloadLen: uint32(len(c.buf)),
+	})
+	if err := w.write(frame[:]); err != nil {
+		return err
+	}
+	if err := w.write(c.buf); err != nil {
+		return err
+	}
+	c.written += uint64(c.events)
+	c.buf = c.buf[:0]
+	c.events = 0
+	c.prev = 0 // deltas reset at chunk boundaries
+	return nil
+}
+
+// Close flushes partial chunks, writes the index and footer, and closes
+// the destination when the Writer owns it.
+func (w *Writer) Close() error {
+	if w.closed {
+		return w.err
+	}
+	w.closed = true
+	// A write error during Append means events were dropped; finishing
+	// the file would produce a plausible-looking but incomplete trace.
+	if w.err != nil {
+		return w.closeDst(w.err)
+	}
+	for core := range w.cores {
+		if err := w.flushChunk(core); err != nil {
+			return w.closeDst(err)
+		}
+	}
+	indexOffset := w.off
+	var head [8]byte
+	copy(head[0:], magicIndex[:])
+	putU32(head[4:], uint32(len(w.index)))
+	if err := w.write(head[:]); err != nil {
+		return w.closeDst(err)
+	}
+	entries := make([]byte, len(w.index)*indexEntryLen)
+	for i, e := range w.index {
+		b := entries[i*indexEntryLen:]
+		putU64(b[0:], e.offset)
+		putU64(b[8:], e.firstEvent)
+		putU32(b[16:], e.core)
+		putU32(b[20:], e.events)
+		putU32(b[24:], e.payloadLen)
+	}
+	if err := w.write(entries); err != nil {
+		return w.closeDst(err)
+	}
+	var crc [4]byte
+	putU32(crc[:], crc32.Checksum(entries, castagnoli))
+	if err := w.write(crc[:]); err != nil {
+		return w.closeDst(err)
+	}
+	var foot [footerLen]byte
+	putU64(foot[0:], indexOffset)
+	putU64(foot[8:], w.total)
+	putU32(foot[16:], crc32.Checksum(foot[:16], castagnoli))
+	copy(foot[20:], magicEnd[:])
+	if err := w.write(foot[:]); err != nil {
+		return w.closeDst(err)
+	}
+	return w.closeDst(nil)
+}
+
+func (w *Writer) closeDst(err error) error {
+	if w.closer != nil {
+		if cerr := w.closer.Close(); err == nil {
+			err = cerr
+		}
+		w.closer = nil
+	}
+	if w.err == nil {
+		w.err = err
+	}
+	return err
+}
+
+func (w *Writer) write(b []byte) error {
+	if _, err := w.dst.Write(b); err != nil {
+		w.err = err
+		return err
+	}
+	w.off += uint64(len(b))
+	return nil
+}
+
+// Events returns the number of events appended so far.
+func (w *Writer) Events() uint64 { return w.total }

@@ -1,0 +1,25 @@
+package workload
+
+import "banshee/internal/trace"
+
+// The synthetic kind serves every name internal/trace accepts —
+// parametric profiles, mixes, and graph-kernel variants — exactly as
+// the simulator consumed them before the registry existed: trace.New
+// with the config's scale and intensity applied verbatim.
+func init() {
+	Register(Def{
+		Kind:  "synthetic",
+		Names: trace.ValidNames,
+		Open: func(name string, cfg Config) (Source, bool, error) {
+			if !trace.Known(name) {
+				return nil, false, nil
+			}
+			w, err := trace.New(name, cfg.Cores, cfg.Seed,
+				trace.WithScale(cfg.Scale), trace.WithIntensity(cfg.Intensity))
+			if err != nil {
+				return nil, true, err
+			}
+			return w, true, nil
+		},
+	})
+}

@@ -1,0 +1,142 @@
+// Package workload is the pluggable workload-selection layer, the
+// mirror image of the scheme registry (internal/registry): every way of
+// producing a reference stream — parametric synthetic profiles, graph
+// kernels, recorded trace files — registers a kind and a resolver, and
+// the simulator obtains its streams purely through name lookups behind
+// the Source interface. Out-of-tree sources join the same table at
+// runtime through the root package's banshee.RegisterWorkload.
+//
+// Built-in kinds:
+//
+//   - "synthetic": every name internal/trace accepts (profiles, mixes,
+//     and "<graph>_kernel" variants), built by trace.New.
+//   - "tracefile": "file:<path>" names, replayed from .btrc trace files
+//     recorded by Record / cmd/tracegen (see internal/tracefile).
+//
+// Resolution walks the registry in registration order and hands the
+// name to each kind until one claims it; an unclaimed name errors with
+// the full list of valid names, so a typo'd workload is diagnosable
+// from the message alone.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"banshee/internal/trace"
+)
+
+// Source is a replayable multi-core reference stream — the contract
+// the simulator consumes instead of any concrete generator. Next must
+// be callable per core in any interleaving; each core's stream must
+// depend only on (name, cores, seed, options), never on the order in
+// which other cores are polled.
+type Source interface {
+	// Name identifies the workload (for stats labeling).
+	Name() string
+	// Cores returns the number of per-core streams.
+	Cores() int
+	// Footprint returns the total resident data size in bytes.
+	Footprint() uint64
+	// Next produces core's next event.
+	Next(core int) trace.Event
+}
+
+// Config carries the run parameters a source is built with. File
+// sources ignore Scale and Intensity — a recorded trace is immutable —
+// but validate Cores against the recording.
+type Config struct {
+	Cores     int
+	Seed      uint64
+	Scale     float64 // footprint scale factor (synthetic sources)
+	Intensity float64 // MemRatio multiplier (synthetic sources)
+}
+
+// Def is one registered workload kind.
+type Def struct {
+	// Kind uniquely names the registration ("synthetic", "tracefile").
+	Kind string
+	// Names lists the enumerable workload names this kind serves, for
+	// listings and round-trip tests. Nil for kinds whose names are
+	// dynamic (like file paths).
+	Names func() []string
+	// Open resolves a name into a Source. ok=false means the name is
+	// not this kind's (resolution continues); ok=true with a non-nil
+	// error aborts resolution with that error.
+	Open func(name string, cfg Config) (src Source, ok bool, err error)
+}
+
+var (
+	mu      sync.RWMutex
+	entries []Def
+	byKind  = map[string]int{}
+)
+
+// Register adds a workload kind to the registry. Like the scheme
+// registry it panics on duplicates and incomplete definitions:
+// registration is code configuration, so a bad entry is a bug worth
+// failing loudly on.
+func Register(d Def) {
+	if d.Kind == "" || d.Open == nil {
+		panic(fmt.Sprintf("workload: incomplete registration %+v", d))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := byKind[d.Kind]; dup {
+		panic(fmt.Sprintf("workload: duplicate kind %q", d.Kind))
+	}
+	byKind[d.Kind] = len(entries)
+	entries = append(entries, d)
+}
+
+// Open resolves a workload name into a Source, walking registered
+// kinds in registration order.
+func Open(name string, cfg Config) (Source, error) {
+	mu.RLock()
+	defer mu.RUnlock()
+	n := strings.TrimSpace(name)
+	for _, d := range entries {
+		src, ok, err := d.Open(n, cfg)
+		if !ok {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		return src, nil
+	}
+	return nil, fmt.Errorf("workload: unknown workload %q (valid: %s, or file:<path>)",
+		name, strings.Join(namesLocked(), ", "))
+}
+
+// Names returns every enumerable registered workload name, sorted.
+// Dynamic names (file:<path>) are not enumerable and so not listed.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	var out []string
+	for _, d := range entries {
+		if d.Names != nil {
+			out = append(out, d.Names()...)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Kinds returns every registered kind in registration order.
+func Kinds() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, len(entries))
+	for i, d := range entries {
+		out[i] = d.Kind
+	}
+	return out
+}

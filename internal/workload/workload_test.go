@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"banshee/internal/mem"
+	"banshee/internal/trace"
+)
+
+var testCfg = Config{Cores: 2, Seed: 7, Scale: 1e-4, Intensity: 1}
+
+func TestBuiltinKinds(t *testing.T) {
+	have := map[string]bool{}
+	for _, k := range Kinds() {
+		have[k] = true
+	}
+	if !have["synthetic"] || !have["tracefile"] {
+		t.Fatalf("built-in kinds missing: %v", Kinds())
+	}
+}
+
+func TestNamesCoverTraceRoster(t *testing.T) {
+	have := map[string]bool{}
+	for _, n := range Names() {
+		have[n] = true
+	}
+	for _, n := range append(trace.Names(), trace.KernelNames()...) {
+		if !have[n] {
+			t.Errorf("registry does not list %q", n)
+		}
+	}
+}
+
+func TestOpenSynthetic(t *testing.T) {
+	src, err := Open("pagerank", testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Name() != "pagerank" || src.Cores() != 2 {
+		t.Fatalf("wrong source: %q/%d", src.Name(), src.Cores())
+	}
+	if src.Footprint() == 0 {
+		t.Fatal("zero footprint")
+	}
+	ev := src.Next(0)
+	if ev.Addr%mem.LineBytes != 0 {
+		t.Fatalf("event not line-aligned: %#x", uint64(ev.Addr))
+	}
+}
+
+func TestOpenUnknownListsNames(t *testing.T) {
+	_, err := Open("nosuchworkload", testCfg)
+	if err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	for _, want := range []string{"pagerank", "mix1", "pagerank_kernel", "gems", "file:<path>"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-workload error does not cite %q: %v", want, err)
+		}
+	}
+}
+
+func TestOpenMissingFileErrors(t *testing.T) {
+	if _, err := Open("file:/nonexistent/trace.btrc", testCfg); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+}
+
+func TestRecordAndReplayFileSource(t *testing.T) {
+	path := t.TempDir() + "/w.btrc"
+	if err := Record(path, "mcf", testCfg, 800); err != nil {
+		t.Fatal(err)
+	}
+
+	// Core-count guard: a recording replays only on its machine shape.
+	if _, err := Open("file:"+path, Config{Cores: 5}); err == nil {
+		t.Fatal("core mismatch accepted")
+	}
+
+	src, err := Open("file:"+path, testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeSource(src)
+	if src.Name() != "mcf" || src.Cores() != 2 {
+		t.Fatalf("replayed meta: %q/%d", src.Name(), src.Cores())
+	}
+	fresh, err := Open("mcf", testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Footprint() != fresh.Footprint() {
+		t.Fatalf("footprint not preserved: %d != %d", src.Footprint(), fresh.Footprint())
+	}
+	for e := 0; e < 800; e++ {
+		for c := 0; c < 2; c++ {
+			if got, want := src.Next(c), fresh.Next(c); got != want {
+				t.Fatalf("core %d event %d: %+v != %+v", c, e, got, want)
+			}
+		}
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	dir := t.TempDir()
+	if err := Record(dir+"/x.btrc", "mcf", testCfg, 0); err == nil {
+		t.Error("zero eventsPerCore accepted")
+	}
+	if err := Record(dir+"/y.btrc", "nosuch", testCfg, 10); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("incomplete def", func() { Register(Def{Kind: "broken"}) })
+	mustPanic("duplicate kind", func() {
+		Register(Def{Kind: "synthetic", Open: func(string, Config) (Source, bool, error) { return nil, false, nil }})
+	})
+}
+
+// stubSource is a minimal out-of-tree Source for registry tests.
+type stubSource struct{ cores int }
+
+func (s *stubSource) Name() string      { return "stub" }
+func (s *stubSource) Cores() int        { return s.cores }
+func (s *stubSource) Footprint() uint64 { return 1 << 20 }
+func (s *stubSource) Next(core int) trace.Event {
+	return trace.Event{Gap: 3, Addr: mem.Addr((core + 1) * mem.PageBytes)}
+}
+
+func TestOutOfTreeRegistration(t *testing.T) {
+	Register(Def{
+		Kind:  "stub-test",
+		Names: func() []string { return []string{"stub:unit"} },
+		Open: func(name string, cfg Config) (Source, bool, error) {
+			if name != "stub:unit" {
+				return nil, false, nil
+			}
+			return &stubSource{cores: cfg.Cores}, true, nil
+		},
+	})
+	src, err := Open("stub:unit", Config{Cores: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Cores() != 3 || src.Next(0).Gap != 3 {
+		t.Fatal("out-of-tree source not resolved")
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "stub:unit" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("out-of-tree name not listed")
+	}
+}
