@@ -5,14 +5,47 @@
 // Cache, tagless DRAM cache (TDC), software-managed HMA, and the
 // NoCache / CacheOnly bounds).
 //
-// The typical flow is three lines: build a Config (DefaultConfig gives
-// the paper's Table 2/3 system at the library's default 1/16 capacity
-// scale), pick a workload from Workloads() and a scheme from Schemes(),
-// and call Run. The returned Result carries cycles, MPKI, and the DRAM
-// traffic breakdown by class used throughout the paper's figures.
+// # Sessions
+//
+// The primary entry point is the Session: a stepwise simulation run
+// that can be driven incrementally, observed mid-flight, and cancelled.
+// Build a Config (DefaultConfig gives the paper's Table 2/3 system at
+// the library's default 1/16 capacity scale), pick a workload from
+// Workloads() and a scheme from Schemes(), open a Session, and drive it
+// to completion under a context:
 //
 //	cfg := banshee.DefaultConfig()
+//	sess, err := banshee.NewSession(cfg, "pagerank", "Banshee")
+//	if err != nil { ... }
+//	sess.OnEpoch(1_000_000, func(s banshee.Snapshot) {
+//		log.Printf("%3.0f%%  MPKI %.2f", 100*sess.Progress().Fraction(), s.Window.MPKI())
+//	})
+//	res, err := sess.Run(ctx) // ctx cancel → partial stats + ctx.Err()
+//
+// Step(n) advances the run by n instructions at a time for callers that
+// interleave simulation with their own work; Progress() reports
+// retired/total instructions, the simulated clock, and the phase
+// (warmup, measure, done); Snapshot() captures the current measurement
+// window at any point. Every observation is windowed uniformly — core
+// counters and scheme-internal counters (remaps, tag-buffer flushes)
+// alike — and observing a run never changes what it computes: stepped,
+// sampled, and one-shot runs produce bit-identical statistics.
+//
+// Run is the one-shot convenience over a Session for when none of that
+// is needed:
+//
 //	res, err := banshee.Run(cfg, "pagerank", "Banshee")
+//
+// The returned Result carries cycles, MPKI, and the DRAM traffic
+// breakdown by class used throughout the paper's figures.
+//
+// # Errors
+//
+// Failures carry typed sentinels matchable with errors.Is / errors.As
+// across every layer: ErrUnknownScheme, ErrUnknownWorkload,
+// ErrTraceCorrupt (a damaged .btrc recording), ErrTraceWrapped (a
+// recording too short for the run consuming it), and *ConfigError,
+// which names the rejected configuration field.
 //
 // # Batch runs
 //
@@ -24,10 +57,12 @@
 // from that file without re-simulating finished jobs — job identity is
 // a content key over the fully resolved configuration, so edited
 // sweeps re-simulate while untouched jobs are served from disk.
+// Cancelling the context drains the pool without writing partial
+// results, so the JSONL file is always a clean resumable prefix.
 //
 //	m := banshee.Matrix{Name: "sweep", Base: banshee.DefaultConfig(),
 //		Workloads: banshee.Workloads(), Schemes: banshee.Schemes()}
-//	rs, err := banshee.RunBatch(m, banshee.BatchOptions{Out: "sweep.jsonl", Resume: true})
+//	rs, err := banshee.RunBatch(ctx, m, banshee.BatchOptions{Out: "sweep.jsonl", Resume: true})
 //
 // # Scheme registry
 //
@@ -59,8 +94,10 @@
 package banshee
 
 import (
+	"context"
 	"io"
 
+	"banshee/internal/errs"
 	"banshee/internal/mc"
 	"banshee/internal/registry"
 	"banshee/internal/runner"
@@ -84,14 +121,72 @@ type SchemeSpec = sim.SchemeSpec
 // Banshee's Table 3 parameters, scaled per DESIGN.md §3.
 func DefaultConfig() Config { return sim.DefaultConfig() }
 
-// Run simulates the named workload under the named scheme. Scheme names
-// follow the paper's labels: "NoCache", "CacheOnly", "Alloy 1",
-// "Alloy 0.1", "Unison", "TDC", "HMA", "Banshee", "Banshee LRU",
-// "Banshee NoSample", "Banshee 2M"; append "+BATMAN" for bandwidth
-// balancing (§5.4.2).
+// Session is a stepwise simulation run: step it n instructions at a
+// time, poll Progress, take windowed Snapshots, sample an epoch time
+// series with OnEpoch, or Run it to completion under a context with
+// cancellation returning partial stats. See the package documentation
+// for the flow and sim.Session for full method semantics.
+type Session = sim.Session
+
+// Snapshot is a windowed view of a running simulation: position
+// (retired instructions, simulated clock, phase) plus a Result whose
+// counters span the snapshot's window.
+type Snapshot = stats.Snapshot
+
+// Series is an ordered sequence of Snapshots — the time series an
+// OnEpoch hook accumulates.
+type Series = stats.Series
+
+// Phase is a run's lifecycle phase: warmup, measure, or done.
+type Phase = stats.Phase
+
+// Run phases, in order.
+const (
+	PhaseWarmup  = stats.PhaseWarmup
+	PhaseMeasure = stats.PhaseMeasure
+	PhaseDone    = stats.PhaseDone
+)
+
+// SessionProgress reports where a run is (retired/total instructions,
+// simulated clock, phase).
+type SessionProgress = sim.Progress
+
+// NewSession opens a stepwise run of the named workload under the named
+// scheme. Scheme names follow the paper's labels — see Run. The session
+// owns its resources (a replayed trace file holds an open file): Run to
+// completion, or Close when abandoning it early.
+func NewSession(cfg Config, workload, scheme string) (*Session, error) {
+	return sim.NewSession(cfg, workload, scheme)
+}
+
+// Run simulates the named workload under the named scheme to
+// completion (a one-shot Session). Scheme names follow the paper's
+// labels: "NoCache", "CacheOnly", "Alloy 1", "Alloy 0.1", "Unison",
+// "TDC", "HMA", "Banshee", "Banshee LRU", "Banshee NoSample",
+// "Banshee 2M"; append "+BATMAN" for bandwidth balancing (§5.4.2).
 func Run(cfg Config, workload, scheme string) (Result, error) {
 	return sim.Run(cfg, workload, scheme)
 }
+
+// Typed error sentinels, matchable with errors.Is through every layer's
+// wrapping (see the package documentation's Errors section).
+var (
+	// ErrUnknownScheme: a scheme display name (or kind) no registered
+	// scheme answers to.
+	ErrUnknownScheme = errs.ErrUnknownScheme
+	// ErrUnknownWorkload: a workload name no registered kind claims.
+	ErrUnknownWorkload = errs.ErrUnknownWorkload
+	// ErrTraceWrapped: a recorded trace ran out of events mid-use and
+	// restarted, disqualifying the run's statistics.
+	ErrTraceWrapped = errs.ErrTraceWrapped
+	// ErrTraceCorrupt: a .btrc recording failed a structural or
+	// checksum validation.
+	ErrTraceCorrupt = errs.ErrTraceCorrupt
+)
+
+// ConfigError reports an invalid configuration field; retrieve it with
+// errors.As to learn which field was rejected and why.
+type ConfigError = errs.ConfigError
 
 // Speedup returns how much faster a ran than base (the paper's Fig. 4
 // normalization when base is the NoCache run).
@@ -229,8 +324,11 @@ type BatchOptions struct {
 }
 
 // RunBatch executes a matrix of simulations on the batch engine with
-// checkpoint/resume. See the package documentation for the sweep flow.
-func RunBatch(m Matrix, o BatchOptions) (*BatchResult, error) {
+// checkpoint/resume. Cancelling ctx drains the worker pool without
+// writing partial results — the JSONL file keeps a clean resumable
+// prefix — and returns an error matching ctx.Err(). See the package
+// documentation for the sweep flow.
+func RunBatch(ctx context.Context, m Matrix, o BatchOptions) (*BatchResult, error) {
 	eng := runner.Engine{Parallelism: o.Parallelism, Progress: o.Progress}
 	if o.Out != "" {
 		sink, err := runner.OpenSink(o.Out, o.Resume)
@@ -240,5 +338,5 @@ func RunBatch(m Matrix, o BatchOptions) (*BatchResult, error) {
 		defer sink.Close()
 		eng.Sink = sink
 	}
-	return eng.Run(m)
+	return eng.Run(ctx, m)
 }

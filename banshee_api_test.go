@@ -2,6 +2,7 @@ package banshee_test
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"path/filepath"
 	"strings"
@@ -88,7 +89,7 @@ func TestRunBatchResume(t *testing.T) {
 		Schemes:   []string{"NoCache", "Banshee"},
 	}
 	out := filepath.Join(t.TempDir(), "api.jsonl")
-	first, err := banshee.RunBatch(m, banshee.BatchOptions{Out: out})
+	first, err := banshee.RunBatch(context.Background(), m, banshee.BatchOptions{Out: out})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestRunBatchResume(t *testing.T) {
 	}
 
 	var progress bytes.Buffer
-	second, err := banshee.RunBatch(m, banshee.BatchOptions{Out: out, Resume: true, Progress: &progress})
+	second, err := banshee.RunBatch(context.Background(), m, banshee.BatchOptions{Out: out, Resume: true, Progress: &progress})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestRegisterScheme(t *testing.T) {
 	if _, err := banshee.Run(cfg, "pagerank", "APITest+BATMAN"); err != nil {
 		t.Fatalf("modifier on registered scheme: %v", err)
 	}
-	rs, err := banshee.RunBatch(banshee.Matrix{
+	rs, err := banshee.RunBatch(context.Background(), banshee.Matrix{
 		Name: "apireg", Base: cfg,
 		Workloads: []string{"pagerank"}, Schemes: []string{"APITest"},
 	}, banshee.BatchOptions{})

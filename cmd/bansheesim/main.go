@@ -2,20 +2,31 @@
 // prints the headline statistics: cycles, IPC, DRAM-cache MPKI and miss
 // rate, and the in-/off-package traffic breakdown by class.
 //
+// The run is a cancellable session: SIGINT/SIGTERM stop it at the next
+// step boundary and the statistics accumulated so far are printed
+// (marked as partial) before exiting non-zero. With -epoch N a live
+// MPKI/bandwidth sample is printed every N retired instructions.
+//
 // Usage:
 //
 //	bansheesim -workload pagerank -scheme Banshee
 //	bansheesim -workload lbm -scheme "Alloy 0.1" -instr 2000000
+//	bansheesim -workload pagerank -scheme Banshee -epoch 500000
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"banshee/internal/mem"
 	"banshee/internal/sim"
+	"banshee/internal/stats"
 	wl "banshee/internal/workload"
 )
 
@@ -27,6 +38,7 @@ func main() {
 		cores    = flag.Int("cores", 0, "core count (0 = default 16)")
 		seed     = flag.Uint64("seed", 42, "simulation seed")
 		large    = flag.Bool("largepages", false, "back all data with 2 MB pages")
+		epoch    = flag.Uint64("epoch", 0, "print a live sample every N retired instructions (0 = off)")
 		list     = flag.Bool("list", false, "list workloads and exit")
 	)
 	flag.Parse()
@@ -50,13 +62,50 @@ func main() {
 		cfg.Cores = 0 // adopt the recording's core count
 	}
 
-	st, err := sim.Run(cfg, *workload, *scheme)
+	// An interrupt cancels the run context: the session stops at its
+	// next step boundary and returns the partial window, so a ^C still
+	// reports what was measured instead of discarding the run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	sess, err := sim.NewSession(cfg, *workload, *scheme)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bansheesim:", err)
 		os.Exit(1)
 	}
+	if *epoch > 0 {
+		sess.OnEpoch(*epoch, func(s stats.Snapshot) {
+			fmt.Fprintf(os.Stderr, "[%s] %5.1f%%  MPKI %6.2f  in-pkg B/i %6.3f  off-pkg B/i %6.3f\n",
+				s.Phase, 100*float64(s.Retired)/float64(sess.Progress().Total),
+				s.Window.MPKI(), s.Window.InPkgBPI(), s.Window.OffPkgBPI())
+		})
+	}
 
-	fmt.Printf("workload      %s\n", st.Workload)
+	st, err := sess.Run(ctx)
+	partial := false
+	if err != nil {
+		if !errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "bansheesim:", err)
+			os.Exit(1)
+		}
+		p := sess.Progress()
+		fmt.Fprintf(os.Stderr, "bansheesim: interrupted at %d of %d instructions (%.0f%%); stats below are partial\n",
+			p.Retired, p.Total, 100*p.Fraction())
+		partial = true
+	}
+
+	report(st, partial)
+	if partial {
+		os.Exit(130) // conventional 128+SIGINT
+	}
+}
+
+func report(st stats.Sim, partial bool) {
+	note := ""
+	if partial {
+		note = "  (partial)"
+	}
+	fmt.Printf("workload      %s%s\n", st.Workload, note)
 	fmt.Printf("scheme        %s\n", st.Scheme)
 	fmt.Printf("instructions  %d\n", st.Instructions)
 	fmt.Printf("cycles        %d\n", st.Cycles)

@@ -9,6 +9,11 @@
 // suite re-invoked with the same flags completes without re-simulating
 // finished jobs.
 //
+// An interrupted suite (SIGINT/SIGTERM) cancels the run context: the
+// batch engine drains its workers without writing partial results, so
+// each matrix's JSONL file in -out is a clean prefix that a re-run with
+// -resume completes byte-identically.
+//
 // Usage:
 //
 //	experiments -run fig4
@@ -18,10 +23,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"banshee/internal/exp"
 )
@@ -39,11 +48,32 @@ func main() {
 	)
 	flag.Parse()
 
-	o := exp.Options{Instr: *instr, Seed: *seed, Intensity: *intensity, Out: *out, Resume: *resume}
+	// An interrupt cancels every in-flight simulation through the
+	// options context; exp.run surfaces the cancellation as an
+	// exp.ErrCancelled panic which is recovered below into a clean,
+	// resumable exit instead of a stack trace.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	o := exp.Options{Ctx: ctx, Instr: *instr, Seed: *seed, Intensity: *intensity, Out: *out, Resume: *resume}
 	if *resume && *out == "" {
 		fmt.Fprintln(os.Stderr, "experiments: -resume requires -out")
 		os.Exit(1)
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			if err, ok := r.(error); ok && errors.Is(err, exp.ErrCancelled) {
+				stop()
+				if *out != "" {
+					fmt.Fprintln(os.Stderr, "experiments: interrupted; results so far are a clean prefix — re-run with -resume to complete")
+				} else {
+					fmt.Fprintln(os.Stderr, "experiments: interrupted")
+				}
+				os.Exit(130)
+			}
+			panic(r)
+		}
+	}()
 	if *verbose {
 		o.Progress = os.Stderr
 	}

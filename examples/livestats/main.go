@@ -1,0 +1,95 @@
+// Example livestats drives a simulation through the Session API
+// instead of the one-shot Run: an OnEpoch hook samples a windowed
+// snapshot every epoch, building a live MPKI / DRAM-bandwidth time
+// series while the run progresses, and a second run demonstrates
+// context cancellation returning the partial measurement window.
+//
+// This is the observability surface a long sweep or a multi-GB trace
+// replay relies on: progress without waiting for the end, per-epoch
+// rates instead of one flat average, and ^C that yields numbers
+// instead of nothing.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+
+	"banshee"
+)
+
+// bandwidthGBs converts a window's DRAM bytes to GB/s of simulated
+// time: bytes over the window divided by the window's span in seconds
+// at the configured core clock.
+func bandwidthGBs(bytes, cycles uint64, cpuMHz float64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	seconds := float64(cycles) / (cpuMHz * 1e6)
+	return float64(bytes) / seconds / 1e9
+}
+
+func main() {
+	cfg := banshee.DefaultConfig()
+	cfg.Cores = 8
+	cfg.InstrPerCore = 500_000
+	cfg.Seed = 7
+
+	// --- A full run, sampled every epoch. -------------------------------
+	sess, err := banshee.NewSession(cfg, "pagerank", "Banshee")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "livestats:", err)
+		os.Exit(1)
+	}
+
+	var series banshee.Series
+	const epochInstr = 250_000 // sample every quarter-million retired instructions
+	sess.OnEpoch(epochInstr, func(s banshee.Snapshot) {
+		series = append(series, s)
+	})
+
+	fmt.Println("live time series (pagerank / Banshee, one row per epoch):")
+	fmt.Println("  epoch  phase    retired    MPKI   in-pkg GB/s  off-pkg GB/s")
+	res, err := sess.Run(context.Background())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "livestats:", err)
+		os.Exit(1)
+	}
+	for i, s := range series {
+		fmt.Printf("  %5d  %-7s  %8d  %6.2f  %10.1f  %12.1f\n",
+			i, s.Phase, s.Retired, s.Window.MPKI(),
+			bandwidthGBs(s.Window.InPkg.Total(), s.Window.Cycles, cfg.CPUMHz),
+			bandwidthGBs(s.Window.OffPkg.Total(), s.Window.Cycles, cfg.CPUMHz))
+	}
+	fmt.Printf("final: %d instructions, IPC %.3f, MPKI %.2f\n\n",
+		res.Instructions, res.IPC(), res.MPKI())
+
+	// --- Cancellation returns partial stats. ----------------------------
+	// Cancel from inside the epoch hook after two samples — standing in
+	// for a ^C or a deadline. Run stops at the next step boundary and
+	// returns the measurement window accumulated so far alongside an
+	// error matching context.Canceled.
+	sess2, err := banshee.NewSession(cfg, "pagerank", "Banshee")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "livestats:", err)
+		os.Exit(1)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	samples := 0
+	sess2.OnEpoch(epochInstr, func(banshee.Snapshot) {
+		if samples++; samples == 2 {
+			cancel()
+		}
+	})
+	partial, err := sess2.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "livestats: expected cancellation, got:", err)
+		os.Exit(1)
+	}
+	p := sess2.Progress()
+	fmt.Printf("cancelled run: stopped at %d of %d instructions (%.0f%%)\n",
+		p.Retired, p.Total, 100*p.Fraction())
+	fmt.Printf("partial window: %d instructions, MPKI %.2f (run error: %v)\n",
+		partial.Instructions, partial.MPKI(), err)
+}

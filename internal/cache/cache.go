@@ -71,7 +71,12 @@ func (c Config) validate() error {
 	return nil
 }
 
-// Eviction describes a line displaced by a fill.
+// Eviction describes a line displaced by a fill. Pointers returned by
+// Access, Fill, and Invalidate reference a per-cache scratch value that
+// the next call overwrites — consume (or copy) an eviction before
+// touching the same cache again. The simulator's per-event loop runs
+// billions of evictions per sweep; reusing the scratch keeps the loop
+// allocation-free.
 type Eviction struct {
 	Addr  mem.Addr
 	Dirty bool
@@ -107,6 +112,7 @@ type Cache struct {
 	tick     uint64
 	rng      *util.RNG
 	stats    Stats
+	ev       Eviction // scratch returned by Access/Fill/Invalidate
 }
 
 // New builds a cache; it panics on invalid configuration (a setup bug).
@@ -248,7 +254,8 @@ func (c *Cache) fill(set uint64, tag uint64, dirty bool, meta uint8) *Eviction {
 	var ev *Eviction
 	if s[victim].valid && s[victim].dirty {
 		c.stats.Evictions++
-		ev = &Eviction{Addr: c.addrOf(set, s[victim].tag), Dirty: true, Meta: s[victim].meta}
+		c.ev = Eviction{Addr: c.addrOf(set, s[victim].tag), Dirty: true, Meta: s[victim].meta}
+		ev = &c.ev
 	}
 	s[victim] = line{tag: tag, valid: true, dirty: dirty, meta: meta, stamp: c.tick}
 	c.stats.Fills++
@@ -265,7 +272,8 @@ func (c *Cache) Invalidate(a mem.Addr) *Eviction {
 			c.stats.Invalidate++
 			var ev *Eviction
 			if s[i].dirty {
-				ev = &Eviction{Addr: c.addrOf(set, s[i].tag), Dirty: true, Meta: s[i].meta}
+				c.ev = Eviction{Addr: c.addrOf(set, s[i].tag), Dirty: true, Meta: s[i].meta}
+				ev = &c.ev
 			}
 			s[i] = line{}
 			return ev

@@ -1,0 +1,62 @@
+// Package errs defines the typed error vocabulary shared across the
+// simulator's layers. The registry, workload, tracefile, sim, and
+// runner packages wrap these sentinels into their contextual messages,
+// so callers match failure classes with errors.Is / errors.As instead
+// of string inspection, and the root package re-exports them as the
+// public error surface (banshee.ErrUnknownScheme and friends).
+//
+// The package sits below every other internal package and imports only
+// the standard library, so any layer can return these errors without
+// creating an import cycle.
+package errs
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrUnknownScheme is wrapped by every "no such scheme" failure:
+	// an unregistered display name in registry.Parse or an unregistered
+	// kind in registry.Build.
+	ErrUnknownScheme = errors.New("unknown scheme")
+
+	// ErrUnknownWorkload is wrapped when a workload name is claimed by
+	// no registered workload kind.
+	ErrUnknownWorkload = errors.New("unknown workload")
+
+	// ErrTraceWrapped is wrapped when a recorded trace ran out of events
+	// mid-use and restarted from its beginning: the stream carries
+	// artificial periodicity the recording never had, so simulation
+	// stats over it (or a re-recording of it) are disqualified.
+	ErrTraceWrapped = errors.New("trace replay wrapped")
+
+	// ErrTraceCorrupt is wrapped by every structural-damage error the
+	// .btrc decoder returns — bad magic, checksum mismatch, inconsistent
+	// index — as opposed to plain I/O failures.
+	ErrTraceCorrupt = errors.New("corrupt trace file")
+)
+
+// ConfigError reports an invalid configuration field with enough
+// context to fix it: which field, and why its value was rejected.
+// Every layer that validates run configuration (sim.Config, workload
+// shapes) returns one; match with errors.As:
+//
+//	var ce *errs.ConfigError
+//	if errors.As(err, &ce) { log.Printf("bad %s: %s", ce.Field, ce.Reason) }
+type ConfigError struct {
+	// Field names the offending configuration field ("Cores", "MSHRs",
+	// "WarmupFrac", ...).
+	Field string
+	// Reason says why the value was rejected, including the value.
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("config: %s: %s", e.Field, e.Reason)
+}
+
+// Configf builds a *ConfigError with a formatted reason.
+func Configf(field, format string, args ...interface{}) *ConfigError {
+	return &ConfigError{Field: field, Reason: fmt.Sprintf(format, args...)}
+}

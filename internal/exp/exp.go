@@ -9,6 +9,8 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"path/filepath"
@@ -20,6 +22,11 @@ import (
 
 // Options controls an experiment run.
 type Options struct {
+	// Ctx, when non-nil, bounds every simulation of the experiment:
+	// cancelling it drains the batch engine's worker pool and aborts
+	// the experiment, leaving any JSONL output a clean resumable
+	// prefix. Nil means context.Background().
+	Ctx context.Context
 	// Instr is the per-core instruction budget (0 = sim default).
 	Instr uint64
 	// Seed is the base simulation seed.
@@ -88,10 +95,20 @@ func (o Options) matrix(name string, workloads, schemes []string, points ...runn
 	}
 }
 
+// ErrCancelled is what run panics with (wrapped with the matrix name)
+// when the options context is cancelled mid-experiment — callers that
+// install a context recover it to distinguish interruption from bugs.
+var ErrCancelled = errors.New("experiment cancelled")
+
 // run executes a matrix on the batch engine, streaming to o.Out when
 // set. Errors panic: experiment configs are code, not input, so a
-// failure is a bug worth surfacing immediately.
+// failure is a bug worth surfacing immediately — except cancellation
+// of o.Ctx, which panics with ErrCancelled for the caller to recover.
 func run(o Options, m runner.Matrix) *runner.ResultSet {
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	eng := runner.Engine{Parallelism: o.Parallelism, Progress: o.Progress}
 	if o.Out != "" {
 		sink, err := runner.OpenSink(filepath.Join(o.Out, m.Name+".jsonl"), o.Resume)
@@ -101,8 +118,11 @@ func run(o Options, m runner.Matrix) *runner.ResultSet {
 		defer sink.Close()
 		eng.Sink = sink
 	}
-	rs, err := eng.Run(m)
+	rs, err := eng.Run(ctx, m)
 	if err != nil {
+		if ctx.Err() != nil {
+			panic(fmt.Errorf("%w: matrix %s: %v", ErrCancelled, m.Name, err))
+		}
 		panic(fmt.Sprintf("exp: matrix %s failed: %v", m.Name, err))
 	}
 	return rs

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"banshee/internal/banshee"
+	"banshee/internal/errs"
 	"banshee/internal/mc"
 	"banshee/internal/vm"
 )
@@ -161,7 +162,7 @@ func Parse(name string) (Spec, error) {
 			return spec, nil
 		}
 	}
-	return Spec{}, fmt.Errorf("sim: unknown scheme %q", name)
+	return Spec{}, fmt.Errorf("sim: %w %q", errs.ErrUnknownScheme, name)
 }
 
 // Build constructs the scheme for spec, layering any active modifiers.
@@ -170,7 +171,7 @@ func Build(spec Spec, env Env) (mc.Scheme, error) {
 	defer mu.RUnlock()
 	i, ok := byKind[spec.Kind]
 	if !ok {
-		return nil, fmt.Errorf("sim: unknown scheme kind %q", spec.Kind)
+		return nil, fmt.Errorf("sim: %w kind %q", errs.ErrUnknownScheme, spec.Kind)
 	}
 	s, err := entries[i].Build(spec, env)
 	if err != nil {

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -38,7 +39,14 @@ type Engine struct {
 // also simulate once. Results stream to the sink in matrix enumeration
 // order, so a killed run's file is a clean prefix and a resumed run
 // completes it byte-identically.
-func (e Engine) Run(m Matrix) (*ResultSet, error) {
+//
+// Cancelling ctx stops the sweep promptly: workers abandon their
+// in-flight simulations at the next step boundary, no partial result
+// reaches the sink, and Run returns an error matching ctx.Err(). The
+// sink then holds a clean enumeration-order prefix of completed jobs,
+// so re-running with the same matrix and a resume-opened sink
+// completes the file byte-identically to an uninterrupted run.
+func (e Engine) Run(ctx context.Context, m Matrix) (*ResultSet, error) {
 	jobs, err := m.Jobs()
 	if err != nil {
 		return nil, err
@@ -136,6 +144,9 @@ func (e Engine) Run(m Matrix) (*ResultSet, error) {
 			own := ""
 			for {
 				mu.Lock()
+				if err := ctx.Err(); err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("runner: sweep cancelled: %w", err)
+				}
 				if firstErr != nil {
 					mu.Unlock()
 					return
@@ -177,13 +188,21 @@ func (e Engine) Run(m Matrix) (*ResultSet, error) {
 				inflight[id] = ch
 				mu.Unlock()
 
-				st, err := sim.RunConfig(jobs[i].Config)
+				// Simulate under ctx so cancellation lands mid-job, not
+				// only between jobs: the session stops at its next step
+				// boundary and its partial stats are discarded here —
+				// only complete results ever reach the sink.
+				st, err := runJob(ctx, jobs[i].Config)
 
 				mu.Lock()
 				delete(inflight, id)
 				if err != nil {
 					if firstErr == nil {
-						firstErr = fmt.Errorf("runner: job %s (%s): %w", jobs[i].Coord(), id, err)
+						if ctx.Err() != nil {
+							firstErr = fmt.Errorf("runner: sweep cancelled: %w", ctx.Err())
+						} else {
+							firstErr = fmt.Errorf("runner: job %s (%s): %w", jobs[i].Coord(), id, err)
+						}
 					}
 					close(ch)
 					mu.Unlock()
@@ -211,6 +230,15 @@ func (e Engine) Run(m Matrix) (*ResultSet, error) {
 			m.Name, len(jobs), rs.Cached, rs.Executed)
 	}
 	return rs, nil
+}
+
+// runJob simulates one fully resolved config under ctx.
+func runJob(ctx context.Context, cfg sim.Config) (stats.Sim, error) {
+	sess, err := sim.NewSessionConfig(cfg)
+	if err != nil {
+		return stats.Sim{}, err
+	}
+	return sess.Run(ctx)
 }
 
 // jobQueue is the pool's scheduling state: per-workload FIFO queues in

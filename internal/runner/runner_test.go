@@ -2,6 +2,8 @@ package runner
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -78,11 +80,11 @@ func TestContentKeyTracksConfig(t *testing.T) {
 
 func TestEngineDeterministicAcrossParallelism(t *testing.T) {
 	m := testMatrix("det")
-	serial, err := Engine{Parallelism: 1}.Run(m)
+	serial, err := Engine{Parallelism: 1}.Run(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := Engine{Parallelism: 4}.Run(m)
+	parallel, err := Engine{Parallelism: 4}.Run(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +113,7 @@ func TestGoldenResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := (Engine{Parallelism: 3, Sink: sink}).Run(m); err != nil {
+	if _, err := (Engine{Parallelism: 3, Sink: sink}).Run(context.Background(), m); err != nil {
 		t.Fatal(err)
 	}
 	sink.Close()
@@ -139,7 +141,7 @@ func TestGoldenResume(t *testing.T) {
 	if got := len(sink2.Loaded()); got != 3 {
 		t.Fatalf("loaded %d records from torn file, want 3", got)
 	}
-	rs, err := (Engine{Parallelism: 3, Sink: sink2}).Run(m)
+	rs, err := (Engine{Parallelism: 3, Sink: sink2}).Run(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +165,7 @@ func TestGoldenResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rs3, err := (Engine{Sink: sink3}).Run(m)
+	rs3, err := (Engine{Sink: sink3}).Run(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +191,7 @@ func TestResumeIgnoresStaleResults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := (Engine{Sink: sink}).Run(m); err != nil {
+	if _, err := (Engine{Sink: sink}).Run(context.Background(), m); err != nil {
 		t.Fatal(err)
 	}
 	sink.Close()
@@ -199,7 +201,7 @@ func TestResumeIgnoresStaleResults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rs, err := (Engine{Sink: sink2}).Run(m)
+	rs, err := (Engine{Sink: sink2}).Run(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +221,7 @@ func TestResumeIgnoresStaleResults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := (Engine{Sink: sink3}).Run(m); err != nil {
+	if _, err := (Engine{Sink: sink3}).Run(context.Background(), m); err != nil {
 		t.Fatal(err)
 	}
 	sink3.Close()
@@ -246,7 +248,7 @@ func TestResumeReusesBeyondBrokenPrefix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := (Engine{Sink: sink}).Run(m); err != nil {
+	if _, err := (Engine{Sink: sink}).Run(context.Background(), m); err != nil {
 		t.Fatal(err)
 	}
 	sink.Close()
@@ -258,7 +260,7 @@ func TestResumeReusesBeyondBrokenPrefix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rs, err := (Engine{Sink: sink2}).Run(m)
+	rs, err := (Engine{Sink: sink2}).Run(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +280,7 @@ func TestResumeReusesBeyondBrokenPrefix(t *testing.T) {
 	if got := len(sink3.Loaded()); got != 4 {
 		t.Fatalf("file holds %d records, want 4", got)
 	}
-	rs2, err := (Engine{Sink: sink3}).Run(m)
+	rs2, err := (Engine{Sink: sink3}).Run(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +299,7 @@ func TestIdenticalConfigsSimulateOnce(t *testing.T) {
 		{Label: "a"},
 		{Label: "b"}, // same config, different label
 	}
-	rs, err := Engine{Parallelism: 2}.Run(m)
+	rs, err := Engine{Parallelism: 2}.Run(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +318,7 @@ func TestEngineErrorSurfaces(t *testing.T) {
 	m := testMatrix("err")
 	m.Schemes = []string{"NoCache"}
 	m.Points = []Point{{Label: "bad", Mutate: func(c *sim.Config) { c.Scheme.Kind = "bogus" }}}
-	if _, err := (Engine{}).Run(m); err == nil || !strings.Contains(err.Error(), "bogus") {
+	if _, err := (Engine{}).Run(context.Background(), m); err == nil || !strings.Contains(err.Error(), "bogus") {
 		t.Fatalf("expected build error, got %v", err)
 	}
 }
@@ -339,7 +341,7 @@ func TestWorkStealing(t *testing.T) {
 	m := testMatrix("steal")
 	m.Workloads = []string{"pagerank"} // one queue, many workers
 	m.Schemes = []string{"NoCache", "CacheOnly", "TDC", "Banshee"}
-	rs, err := Engine{Parallelism: 4}.Run(m)
+	rs, err := Engine{Parallelism: 4}.Run(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -374,7 +376,7 @@ func TestBatchOverRecordedTrace(t *testing.T) {
 		Schemes:   []string{"NoCache", "Banshee"},
 		Seeds:     []uint64{11},
 	}
-	rs, err := Engine{Parallelism: 4}.Run(m)
+	rs, err := Engine{Parallelism: 4}.Run(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -385,5 +387,95 @@ func TestBatchOverRecordedTrace(t *testing.T) {
 		if direct != replayed {
 			t.Errorf("%s: replayed batch job differs from direct job", scheme)
 		}
+	}
+}
+
+// cancelAfterWriter cancels a context after n progress lines — a
+// deterministic stand-in for a SIGINT landing mid-sweep.
+type cancelAfterWriter struct {
+	n      int
+	cancel context.CancelFunc
+}
+
+func (w *cancelAfterWriter) Write(p []byte) (int, error) {
+	if w.n--; w.n == 0 {
+		w.cancel()
+	}
+	return len(p), nil
+}
+
+// TestCancelMidSweepResumesByteIdentical pins the cancellation
+// contract end to end: a sweep cancelled mid-run returns an error
+// matching context.Canceled and leaves its JSONL sink a clean
+// enumeration-order prefix; resuming the same matrix completes the
+// file byte-identically to an uninterrupted run's.
+func TestCancelMidSweepResumesByteIdentical(t *testing.T) {
+	m := testMatrix("cancel")
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.jsonl")
+	interrupted := filepath.Join(dir, "interrupted.jsonl")
+
+	sink, err := OpenSink(full, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Engine{Parallelism: 2, Sink: sink}).Run(context.Background(), m); err != nil {
+		t.Fatal(err)
+	}
+	sink.Close()
+
+	// Interrupt after the second completed job. Workers abandon their
+	// in-flight simulations; no partial record may reach the sink.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sink2, err := OpenSink(interrupted, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = (Engine{Parallelism: 2, Sink: sink2,
+		Progress: &cancelAfterWriter{n: 2, cancel: cancel}}).Run(ctx, m)
+	sink2.Close()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
+	}
+
+	// The interrupted file must be a clean strict prefix of the full run.
+	fullBytes, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := os.ReadFile(interrupted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part) >= len(fullBytes) {
+		t.Fatalf("interrupted file not shorter: %d vs %d bytes", len(part), len(fullBytes))
+	}
+	if !bytes.HasPrefix(fullBytes, part) {
+		t.Fatal("interrupted file is not a prefix of the uninterrupted run's")
+	}
+
+	// Resume completes it byte-identically.
+	sink3, err := OpenSink(interrupted, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := (Engine{Parallelism: 2, Sink: sink3}).Run(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink3.Close()
+	// Every record the interrupted run flushed is served from disk, not
+	// re-simulated. (The prefix can legitimately be empty: the in-order
+	// flush frontier may not have advanced when the cancel landed.)
+	if onDisk := bytes.Count(part, []byte{'\n'}); rs.Cached < onDisk {
+		t.Fatalf("resume cached %d jobs, interrupted file held %d", rs.Cached, onDisk)
+	}
+	resumed, err := os.ReadFile(interrupted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resumed, fullBytes) {
+		t.Fatal("resumed file differs from uninterrupted run's")
 	}
 }

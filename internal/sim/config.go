@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"banshee/internal/dram"
+	"banshee/internal/errs"
 	"banshee/internal/mc"
 	"banshee/internal/mem"
 	"banshee/internal/registry"
@@ -116,22 +117,29 @@ func DefaultConfig() Config {
 	}
 }
 
+// validate rejects impossible configurations with *errs.ConfigError
+// values naming the offending field, so callers can errors.As their way
+// to the field instead of parsing messages.
 func (c Config) validate() error {
+	var ce *errs.ConfigError
 	switch {
 	case c.Cores < 0:
-		return fmt.Errorf("sim: cores must be non-negative (0 adopts a trace file's recorded count), got %d", c.Cores)
+		ce = errs.Configf("Cores", "must be non-negative (0 adopts a trace file's recorded count), got %d", c.Cores)
 	case c.IssueWidth <= 0:
-		return fmt.Errorf("sim: issue width must be positive, got %d", c.IssueWidth)
+		ce = errs.Configf("IssueWidth", "must be positive, got %d", c.IssueWidth)
 	case c.MSHRs <= 0:
-		return fmt.Errorf("sim: MSHRs must be positive, got %d", c.MSHRs)
+		ce = errs.Configf("MSHRs", "must be positive, got %d", c.MSHRs)
 	case c.Workload == "":
-		return fmt.Errorf("sim: workload not set")
+		ce = errs.Configf("Workload", "not set")
 	case c.Scheme.Kind == "":
-		return fmt.Errorf("sim: scheme not set")
+		ce = errs.Configf("Scheme", "not set")
 	case c.InstrPerCore == 0:
-		return fmt.Errorf("sim: instruction budget not set")
+		ce = errs.Configf("InstrPerCore", "instruction budget not set")
 	case c.WarmupFrac < 0 || c.WarmupFrac >= 1:
-		return fmt.Errorf("sim: warmup fraction %v out of [0,1)", c.WarmupFrac)
+		ce = errs.Configf("WarmupFrac", "%v out of [0,1)", c.WarmupFrac)
+	}
+	if ce != nil {
+		return fmt.Errorf("sim: %w", ce)
 	}
 	return nil
 }

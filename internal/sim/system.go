@@ -2,11 +2,13 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"io"
 
 	"banshee/internal/cache"
 	"banshee/internal/dram"
+	"banshee/internal/errs"
 	"banshee/internal/mc"
 	"banshee/internal/mem"
 	"banshee/internal/stats"
@@ -33,8 +35,9 @@ type core struct {
 }
 
 // System is a fully assembled simulation. Build with NewSystem, drive
-// with Run. Not safe for concurrent use; run distinct Systems in
-// parallel instead.
+// incrementally with Step (or to completion with Run); Session is the
+// managed handle most callers want. Not safe for concurrent use; run
+// distinct Systems in parallel instead.
 type System struct {
 	cfg    Config
 	work   workload.Source
@@ -47,10 +50,45 @@ type System struct {
 	rng    *util.RNG
 	cost   vm.CostModel
 
-	st     stats.Sim
-	warmed bool
-	warmSt stats.Sim
-	warmAt uint64 // max core time when warmup ended
+	st       stats.Sim
+	warmed   bool
+	warmMark mark // counters at the end of warmup
+
+	// Stepper state: the run is a resumable loop over the core heap,
+	// advanced by Step in instruction-count increments. The warmup
+	// snapshot, epoch samples, and the final measurement window are all
+	// windows between two marks of the same capture mechanism.
+	h            coreHeap
+	started      bool
+	finished     bool
+	closed       bool
+	runErr       error
+	totalRetired uint64
+	totalBudget  uint64 // InstrPerCore × cores
+	warmTarget   uint64 // retired instructions ending warmup
+	final        stats.Sim
+
+	// Latched trace-replay failure surface (file sources only).
+	srcErr     func() error
+	srcWrapped func() bool
+
+	// Epoch sampling (OnEpoch). epochNext is the next absolute
+	// retirement multiple to sample at, so boundary overshoot never
+	// drifts the sample points away from k×epochEvery.
+	epochEvery uint64
+	epochNext  uint64
+	epochFn    func(stats.Snapshot)
+	epochMark  mark
+}
+
+// mark is one capture point of the windowed-snapshot mechanism: the
+// cumulative counters (scheme-internal totals folded in), instructions
+// retired, and the wall clock at one instant. A window is the fieldwise
+// difference between two marks.
+type mark struct {
+	st      stats.Sim
+	retired uint64
+	cycles  uint64
 }
 
 // NewSystem assembles a system from cfg.
@@ -122,6 +160,17 @@ func NewSystem(cfg Config) (*System, error) {
 	s.offPkg = dram.New(offCfg)
 	s.st.Workload = cfg.Workload
 	s.st.Scheme = scheme.Name()
+	s.totalBudget = cfg.InstrPerCore * uint64(len(s.cores))
+	s.warmTarget = uint64(float64(s.totalBudget) * cfg.WarmupFrac)
+	// Replayed trace files latch decode errors and wrap-around instead
+	// of panicking mid-run; bind their surfaces once so Step can poll
+	// them without per-call type assertions.
+	if e, ok := w.(interface{ Err() error }); ok {
+		s.srcErr = e.Err
+	}
+	if wr, ok := w.(interface{ Wrapped() bool }); ok {
+		s.srcWrapped = wr.Wrapped
+	}
 	return s, nil
 }
 
@@ -151,43 +200,247 @@ func (h *coreHeap) Pop() interface{} {
 // Workload returns the source driving the system (diagnostics, tests).
 func (s *System) Workload() workload.Source { return s.work }
 
-// Run replays the workload to the instruction budget and returns the
-// measured statistics (post-warmup window). Sources holding external
-// resources (replayed trace files) are released when the run ends.
-func (s *System) Run() stats.Sim {
-	if c, ok := s.work.(io.Closer); ok {
-		defer c.Close()
-	}
-	h := make(coreHeap, 0, len(s.cores))
+// start initializes the scheduling heap; the first Step calls it.
+func (s *System) start() {
+	s.h = make(coreHeap, 0, len(s.cores))
 	for _, c := range s.cores {
-		h = append(h, c)
+		s.h = append(s.h, c)
 	}
-	heap.Init(&h)
+	heap.Init(&s.h)
+	s.started = true
+}
 
-	totalBudget := s.cfg.InstrPerCore * uint64(len(s.cores))
-	warmTarget := uint64(float64(totalBudget) * s.cfg.WarmupFrac)
-	var totalRetired uint64
-
-	for h.Len() > 0 {
-		c := heap.Pop(&h).(*core)
+// Step advances the simulation until at least n more instructions have
+// retired across all cores (or the budget is exhausted), returning
+// done=true once the run is complete. It surfaces latched trace-replay
+// failures (decode corruption, wrap-around) as typed errors; a failed
+// run is terminal and keeps returning the same error. The warmup
+// snapshot, epoch samples, and final window all happen inside Step at
+// the exact retirement boundaries they would in a one-shot run, so a
+// stepped run's statistics are bit-identical to Run's regardless of
+// the step size.
+func (s *System) Step(n uint64) (done bool, err error) {
+	if s.runErr != nil {
+		return false, s.runErr
+	}
+	if s.finished {
+		return true, nil
+	}
+	if !s.started {
+		s.start()
+	}
+	target := s.totalRetired + n
+	for s.h.Len() > 0 && s.totalRetired < target {
+		c := heap.Pop(&s.h).(*core)
 		if c.pending > 0 {
 			c.time += c.pending
 			c.pending = 0
 		}
 		before := c.retired
 		s.step(c)
-		totalRetired += c.retired - before
+		s.totalRetired += c.retired - before
 
-		if !s.warmed && totalRetired >= warmTarget {
-			s.snapshotWarm()
+		// warmTarget == 0 (WarmupFrac 0) means no warmup at all: the
+		// whole run is the measurement window (the zero warmMark is the
+		// run's start), so no mark is ever captured.
+		if !s.warmed && s.warmTarget > 0 && s.totalRetired >= s.warmTarget {
+			s.warmed = true
+			s.warmMark = s.markNow()
+		}
+		if s.epochFn != nil && s.totalRetired >= s.epochNext {
+			s.fireEpoch()
 		}
 		if c.retired >= s.cfg.InstrPerCore {
 			c.done = true
 		} else {
-			heap.Push(&h, c)
+			heap.Push(&s.h, c)
 		}
 	}
-	return s.finalize(totalRetired)
+	if err := s.sourceErr(); err != nil {
+		s.fail(err)
+		return false, s.runErr
+	}
+	if s.h.Len() == 0 {
+		s.finish()
+		return true, nil
+	}
+	return false, nil
+}
+
+// sourceErr reports a latched trace-replay failure: a decode error
+// (wrapping errs.ErrTraceCorrupt) or a wrapped-around stream (wrapping
+// errs.ErrTraceWrapped) — either disqualifies the run's statistics.
+func (s *System) sourceErr() error {
+	if s.srcErr != nil {
+		if err := s.srcErr(); err != nil {
+			return err
+		}
+	}
+	if s.srcWrapped != nil && s.srcWrapped() {
+		return fmt.Errorf(
+			"sim: %w: %q records fewer events than the run consumed (record more events per core or lower InstrPerCore)",
+			errs.ErrTraceWrapped, s.cfg.Workload)
+	}
+	return nil
+}
+
+// fail terminates the run with err; the source is released and every
+// later Step returns the same error.
+func (s *System) fail(err error) {
+	s.runErr = err
+	s.finished = true
+	s.closeSource()
+}
+
+// finish computes the final measurement window and releases the source.
+func (s *System) finish() {
+	s.finished = true
+	s.final = s.windowSince(s.warmMark) // zero mark when never warmed
+	s.closeSource()
+}
+
+// closeSource releases a source holding external resources (replayed
+// trace files); idempotent.
+func (s *System) closeSource() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if c, ok := s.work.(io.Closer); ok {
+		c.Close()
+	}
+}
+
+// Done reports whether the run has completed (or failed terminally).
+func (s *System) Done() bool { return s.finished }
+
+// Run replays the workload to the instruction budget and returns the
+// measured statistics (post-warmup window). It is Step driven to
+// completion; sources holding external resources (replayed trace
+// files) are released when the run ends. Latched trace-replay errors
+// are available from Err (Session and RunConfig surface them).
+func (s *System) Run() stats.Sim {
+	for {
+		done, err := s.Step(stepQuantum)
+		if done || err != nil {
+			return s.final
+		}
+	}
+}
+
+// Err returns the terminal run error, if any.
+func (s *System) Err() error { return s.runErr }
+
+// markNow captures the cumulative counters at this instant, folding the
+// scheme's internal running totals (Remaps, TagBufferFlushes, ...) into
+// the copy so windows between marks cover every counter uniformly.
+func (s *System) markNow() mark {
+	st := s.st
+	s.scheme.FillStats(&st)
+	return mark{st: st, retired: s.totalRetired, cycles: s.maxCycles()}
+}
+
+// maxCycles is the simulated wall clock: the furthest core clock.
+func (s *System) maxCycles() uint64 {
+	var cycles uint64
+	for _, c := range s.cores {
+		if c.time > cycles {
+			cycles = c.time
+		}
+	}
+	return cycles
+}
+
+// windowSince returns the counters accumulated since m, with the
+// window's instruction and cycle spans filled in.
+func (s *System) windowSince(m mark) stats.Sim {
+	return s.windowBetween(s.markNow(), m)
+}
+
+// windowBetween is windowSince with the current mark already captured.
+func (s *System) windowBetween(cur, m mark) stats.Sim {
+	out := stats.Sub(cur.st, m.st)
+	out.Workload = s.cfg.Workload
+	out.Scheme = s.scheme.Name()
+	out.Instructions = cur.retired - m.retired
+	out.Cycles = cur.cycles - m.cycles
+	return out
+}
+
+// phase reports the run's lifecycle phase. A zero warmup target means
+// the run measures from its first instruction.
+func (s *System) phase() stats.Phase {
+	switch {
+	case s.finished:
+		return stats.PhaseDone
+	case s.warmed || s.warmTarget == 0:
+		return stats.PhaseMeasure
+	}
+	return stats.PhaseWarmup
+}
+
+// Progress reports where the run is: instructions retired against the
+// budget, the wall clock, and the phase. Cheap enough to poll.
+func (s *System) Progress() Progress {
+	return Progress{
+		Retired: s.totalRetired,
+		Total:   s.totalBudget,
+		Cycles:  s.maxCycles(),
+		Phase:   s.phase(),
+	}
+}
+
+// Snapshot captures the current measurement window: counters since the
+// end of warmup (or since the start of the run while still warming up),
+// every counter — scheme-internal ones included — windowed uniformly.
+// At completion it equals the final statistics Run returns.
+func (s *System) Snapshot() stats.Snapshot {
+	cur := s.markNow()
+	return stats.Snapshot{
+		Retired: cur.retired,
+		Cycles:  cur.cycles,
+		Phase:   s.phase(),
+		Window:  s.windowBetween(cur, s.warmMark),
+	}
+}
+
+// OnEpoch registers fn to receive a windowed snapshot every `every`
+// retired instructions — exactly: at the first retirement boundary at
+// or past each absolute multiple of `every`; an event retiring many
+// instructions at once fires at most one sample and skips the
+// multiples it jumped over, so sample points never drift from the
+// k×every grid. Each sample's window spans from the previous sample
+// (or the registration point), so the sequence is a time series of
+// per-epoch rates. Observation only — hooks cannot perturb the
+// simulation, so stepped, hooked, and one-shot runs stay
+// bit-identical. Registering mid-run starts the first window at the
+// current position; a nil fn or zero interval clears the hook.
+func (s *System) OnEpoch(every uint64, fn func(stats.Snapshot)) {
+	if fn == nil || every == 0 {
+		s.epochFn = nil
+		s.epochEvery = 0
+		return
+	}
+	s.epochEvery = every
+	s.epochFn = fn
+	s.epochMark = s.markNow()
+	s.epochNext = (s.totalRetired/every + 1) * every
+}
+
+// fireEpoch emits one epoch sample, starts the next window, and
+// schedules the next sample at the first multiple past the current
+// position.
+func (s *System) fireEpoch() {
+	cur := s.markNow()
+	snap := stats.Snapshot{
+		Retired: cur.retired,
+		Cycles:  cur.cycles,
+		Phase:   s.phase(),
+		Window:  s.windowBetween(cur, s.epochMark),
+	}
+	s.epochMark = cur
+	s.epochNext = (s.totalRetired/s.epochEvery + 1) * s.epochEvery
+	s.epochFn(snap)
 }
 
 // step advances one core by one trace event.
@@ -395,107 +648,31 @@ func (s *System) executeOps(c *core, res mc.Result, now uint64) uint64 {
 	return completion
 }
 
-// snapshotWarm marks the end of the warmup window.
-func (s *System) snapshotWarm() {
-	s.warmed = true
-	s.warmSt = s.st
-	for _, c := range s.cores {
-		if c.time > s.warmAt {
-			s.warmAt = c.time
-		}
-	}
-}
-
-// finalize computes the post-warmup measurement window.
-func (s *System) finalize(totalRetired uint64) stats.Sim {
-	var end uint64
-	for _, c := range s.cores {
-		if c.time > end {
-			end = c.time
-		}
-	}
-	s.scheme.FillStats(&s.st)
-	out := s.st
-	if s.warmed {
-		out = subStats(s.st, s.warmSt)
-	}
-	warmRetired := uint64(float64(s.cfg.InstrPerCore*uint64(len(s.cores))) * s.cfg.WarmupFrac)
-	if !s.warmed {
-		warmRetired = 0
-	}
-	out.Workload = s.cfg.Workload
-	out.Scheme = s.scheme.Name()
-	out.Instructions = totalRetired - warmRetired
-	out.Cycles = end - s.warmAt
-	return out
-}
-
-// subStats returns a-b fieldwise for the counters that accumulate
-// monotonically during a run.
-func subStats(a, b stats.Sim) stats.Sim {
-	out := a
-	out.L1Accesses -= b.L1Accesses
-	out.L1Misses -= b.L1Misses
-	out.L2Accesses -= b.L2Accesses
-	out.L2Misses -= b.L2Misses
-	out.LLCAccesses -= b.LLCAccesses
-	out.LLCMisses -= b.LLCMisses
-	out.LLCEvictions -= b.LLCEvictions
-	out.DCHits -= b.DCHits
-	out.DCMisses -= b.DCMisses
-	out.SWStallCycles -= b.SWStallCycles
-	out.MissLatSum -= b.MissLatSum
-	out.MissLatCount -= b.MissLatCount
-	out.Prefetches -= b.Prefetches
-	for i := range out.InPkg.Bytes {
-		out.InPkg.Bytes[i] -= b.InPkg.Bytes[i]
-		out.OffPkg.Bytes[i] -= b.OffPkg.Bytes[i]
-	}
-	// Scheme-internal counters (Remaps, flushes...) are filled once at
-	// finalize and represent whole-run totals; they are not windowed.
-	return out
-}
-
-// Run is the package-level convenience: build a system for (workload,
-// scheme display name) on top of cfg and run it.
+// Run is the package-level convenience: build a session for (workload,
+// scheme display name) on top of cfg and run it to completion.
 //
 // Run replaces cfg.Scheme with the named scheme's spec, except that
 // scheme-tuning fields already set on cfg.Scheme (sampling coefficient,
 // ways, thresholds, buffer sizes, PTE-update cost, epoch length) are
 // preserved — so sweeps can tune a scheme and still select it by name.
-// Use RunConfig to run a fully hand-built Config verbatim.
+// Use RunConfig to run a fully hand-built Config verbatim, and
+// NewSession for incremental or cancellable runs.
 func Run(cfg Config, workload, scheme string) (stats.Sim, error) {
-	spec, err := ResolveScheme(scheme, cfg.Scheme)
+	sess, err := NewSession(cfg, workload, scheme)
 	if err != nil {
 		return stats.Sim{}, err
 	}
-	cfg.Workload = workload
-	cfg.Scheme = spec
-	return RunConfig(cfg)
+	return sess.Run(context.Background())
 }
 
 // RunConfig runs cfg exactly as given (cfg.Workload and cfg.Scheme must
-// be fully populated).
+// be fully populated). It is NewSessionConfig + Run to completion:
+// latched trace-replay failures (corruption, wrap-around) fail the run
+// with typed errors instead of returning skewed statistics.
 func RunConfig(cfg Config) (stats.Sim, error) {
-	sys, err := NewSystem(cfg)
+	sess, err := NewSessionConfig(cfg)
 	if err != nil {
 		return stats.Sim{}, err
 	}
-	st := sys.Run()
-	// Replayed trace files latch decode errors instead of panicking
-	// mid-run; surface them here so a corrupt trace fails the run
-	// rather than yielding stats over a truncated stream. A wrapped
-	// replay is equally disqualifying: the stream restarted mid-run, so
-	// the stats carry artificial periodicity the recording never had.
-	if e, ok := sys.work.(interface{ Err() error }); ok {
-		if err := e.Err(); err != nil {
-			return stats.Sim{}, err
-		}
-	}
-	if wr, ok := sys.work.(interface{ Wrapped() bool }); ok && wr.Wrapped() {
-		return stats.Sim{}, fmt.Errorf(
-			"sim: trace replay wrapped: %q records fewer events than the run consumed (record more events per core or lower InstrPerCore)",
-			cfg.Workload)
-	}
-	return st, nil
+	return sess.Run(context.Background())
 }

@@ -30,6 +30,7 @@ import (
 	"sort"
 	"strings"
 
+	"banshee/internal/errs"
 	"banshee/internal/graph"
 	"banshee/internal/mem"
 	"banshee/internal/util"
@@ -219,8 +220,8 @@ func New(name string, cores int, seed uint64, opts ...Option) (*Workload, error)
 	}
 	p, ok := profiles[name]
 	if !ok {
-		return nil, fmt.Errorf("trace: unknown workload %q (valid: %s)",
-			name, strings.Join(ValidNames(), ", "))
+		return nil, fmt.Errorf("trace: %w %q (valid: %s)",
+			errs.ErrUnknownWorkload, name, strings.Join(ValidNames(), ", "))
 	}
 	w := &Workload{name: name, shared: p.Shared}
 	root := util.NewRNG(seed ^ hashName(name))

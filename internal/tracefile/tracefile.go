@@ -36,9 +36,10 @@
 package tracefile
 
 import (
-	"errors"
 	"fmt"
 	"hash/crc32"
+
+	"banshee/internal/errs"
 )
 
 // Format constants. Version bumps when the layout or event encoding
@@ -93,8 +94,10 @@ type Meta struct {
 }
 
 // ErrCorrupt is wrapped by every structural-damage error the decoder
-// returns, so callers can distinguish corruption from I/O failures.
-var ErrCorrupt = errors.New("corrupt trace file")
+// returns, so callers can distinguish corruption from I/O failures. It
+// is the shared errs.ErrTraceCorrupt sentinel (re-exported publicly as
+// banshee.ErrTraceCorrupt), so a match holds across layers.
+var ErrCorrupt = errs.ErrTraceCorrupt
 
 func corruptf(format string, args ...interface{}) error {
 	return fmt.Errorf("tracefile: %w: %s", ErrCorrupt, fmt.Sprintf(format, args...))

@@ -5,6 +5,7 @@ import (
 	"os"
 	"strings"
 
+	"banshee/internal/errs"
 	"banshee/internal/tracefile"
 )
 
@@ -32,8 +33,8 @@ func init() {
 			}
 			if cfg.Cores != 0 && cfg.Cores != r.Cores() {
 				r.Close()
-				return nil, true, fmt.Errorf(
-					"workload: %s records %d cores, config wants %d", name, r.Cores(), cfg.Cores)
+				return nil, true, fmt.Errorf("workload: %w", errs.Configf("Cores",
+					"%s records %d cores, config wants %d", name, r.Cores(), cfg.Cores))
 			}
 			return r, true, nil
 		},
@@ -51,7 +52,7 @@ func init() {
 // that instruction budget without wrapping.
 func Record(path, name string, cfg Config, eventsPerCore uint64) error {
 	if eventsPerCore == 0 {
-		return fmt.Errorf("workload: eventsPerCore must be positive")
+		return fmt.Errorf("workload: %w", errs.Configf("EventsPerCore", "must be positive"))
 	}
 	src, err := Open(name, cfg)
 	if err != nil {
@@ -92,8 +93,8 @@ func Record(path, name string, cfg Config, eventsPerCore uint64) error {
 	}
 	if wr, ok := src.(interface{ Wrapped() bool }); ok && wr.Wrapped() {
 		return abort(fmt.Errorf(
-			"workload: record %s: source stream shorter than %d events per core (replay wrapped)",
-			name, eventsPerCore))
+			"workload: record %s: %w: source stream shorter than %d events per core",
+			name, errs.ErrTraceWrapped, eventsPerCore))
 	}
 	if err := w.Close(); err != nil {
 		os.Remove(path)

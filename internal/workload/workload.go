@@ -25,6 +25,7 @@ import (
 	"strings"
 	"sync"
 
+	"banshee/internal/errs"
 	"banshee/internal/trace"
 )
 
@@ -107,8 +108,8 @@ func Open(name string, cfg Config) (Source, error) {
 		}
 		return src, nil
 	}
-	return nil, fmt.Errorf("workload: unknown workload %q (valid: %s, or file:<path>)",
-		name, strings.Join(namesLocked(), ", "))
+	return nil, fmt.Errorf("workload: %w %q (valid: %s, or file:<path>)",
+		errs.ErrUnknownWorkload, name, strings.Join(namesLocked(), ", "))
 }
 
 // Names returns every enumerable registered workload name, sorted.
