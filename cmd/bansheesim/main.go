@@ -12,6 +12,11 @@
 //	bansheesim -workload pagerank -scheme Banshee
 //	bansheesim -workload lbm -scheme "Alloy 0.1" -instr 2000000
 //	bansheesim -workload pagerank -scheme Banshee -epoch 500000
+//	bansheesim -workload mix1 -scheme Banshee -cpuprofile sim.prof
+//
+// The -cpuprofile/-memprofile flags write pprof profiles of the run so
+// the PERFORMANCE.md methodology applies to the shipped binary, not
+// only the test harness: `go tool pprof bansheesim sim.prof`.
 package main
 
 import (
@@ -21,6 +26,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
@@ -30,7 +37,13 @@ import (
 	wl "banshee/internal/workload"
 )
 
+// main defers to run so profile-flushing defers survive the non-zero
+// exit paths (os.Exit skips deferred functions).
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		workload = flag.String("workload", "pagerank", "workload name (see -list)")
 		scheme   = flag.String("scheme", "Banshee", `scheme display name ("NoCache", "Unison", "TDC", "Alloy 1", "Alloy 0.1", "HMA", "Banshee", "Banshee LRU", "Banshee NoSample", "Banshee 2M", "CacheOnly"; append "+BATMAN" to balance bandwidth)`)
@@ -40,14 +53,44 @@ func main() {
 		large    = flag.Bool("largepages", false, "back all data with 2 MB pages")
 		epoch    = flag.Uint64("epoch", 0, "print a live sample every N retired instructions (0 = off)")
 		list     = flag.Bool("list", false, "list workloads and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bansheesim:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bansheesim:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bansheesim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap numbers before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "bansheesim:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, n := range wl.Names() {
 			fmt.Println(n)
 		}
-		return
+		return 0
 	}
 
 	cfg := sim.DefaultConfig()
@@ -71,7 +114,7 @@ func main() {
 	sess, err := sim.NewSession(cfg, *workload, *scheme)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bansheesim:", err)
-		os.Exit(1)
+		return 1
 	}
 	if *epoch > 0 {
 		sess.OnEpoch(*epoch, func(s stats.Snapshot) {
@@ -86,7 +129,7 @@ func main() {
 	if err != nil {
 		if !errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "bansheesim:", err)
-			os.Exit(1)
+			return 1
 		}
 		p := sess.Progress()
 		fmt.Fprintf(os.Stderr, "bansheesim: interrupted at %d of %d instructions (%.0f%%); stats below are partial\n",
@@ -96,8 +139,9 @@ func main() {
 
 	report(st, partial)
 	if partial {
-		os.Exit(130) // conventional 128+SIGINT
+		return 130 // conventional 128+SIGINT
 	}
+	return 0
 }
 
 func report(st stats.Sim, partial bool) {

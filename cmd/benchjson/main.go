@@ -1,0 +1,194 @@
+// Command benchjson turns `go test -bench` output into a stable,
+// machine-readable JSON trajectory and diffs two such files with a
+// tolerance gate, so the repository can track its own performance the
+// way it tracks correctness.
+//
+// Capture (reads the benchmark text from stdin):
+//
+//	go test -run '^$' -bench BenchmarkEndToEnd -benchmem . | benchjson > BENCH_5.json
+//
+// Gate (exit 1 when any shared benchmark drifts past the tolerance;
+// flags precede the two file arguments):
+//
+//	benchjson -diff -tol 0.2 -metric allocs BENCH_5.json new.json
+//
+// The -metric flag picks what the gate compares: "allocs" (default in
+// CI — allocations per op are hardware-independent, so the committed
+// baseline is meaningful on any runner), "ns", or "all". Time
+// comparisons only mean something against a baseline captured on the
+// same hardware; see PERFORMANCE.md.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's measurements. MBPerOp is allocated megabytes
+// (B/op ÷ 1e6), matching the B/op column of -benchmem.
+type Entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	MBPerOp     float64 `json:"mb_per_op"`
+}
+
+// benchLine matches "BenchmarkX[-P] <iters> <pairs...>"; the -P
+// GOMAXPROCS suffix is stripped so names compare across machines.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+(.*)$`)
+
+func parse(r *bufio.Scanner) ([]Entry, error) {
+	var out []Entry
+	for r.Scan() {
+		m := benchLine.FindStringSubmatch(r.Text())
+		if m == nil {
+			continue
+		}
+		e := Entry{Name: m[1]}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q for %s", fields[i], e.Name)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			case "B/op":
+				e.MBPerOp = v / 1e6
+			}
+		}
+		out = append(out, e)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func load(path string) (map[string]Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var list []Entry
+	if err := json.Unmarshal(data, &list); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]Entry, len(list))
+	for _, e := range list {
+		m[e.Name] = e
+	}
+	return m, nil
+}
+
+// drift returns the relative deviation of new from old, with a floor of
+// 1 on the denominator so zero baselines (0 allocs/op) gate on absolute
+// change instead of dividing by zero.
+func drift(old, new float64) float64 {
+	return math.Abs((new - old) / max(old, 1))
+}
+
+func diff(oldPath, newPath string, tol float64, metric string) int {
+	oldM, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newM, err := load(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	names := make([]string, 0, len(oldM))
+	for n := range oldM {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	rc := 0
+	for _, n := range names {
+		o := oldM[n]
+		e, ok := newM[n]
+		if !ok {
+			fmt.Printf("MISSING %-40s in %s\n", n, newPath)
+			rc = 1
+			continue
+		}
+		check := func(what string, ov, nv float64) {
+			d := drift(ov, nv)
+			status := "ok     "
+			if d > tol {
+				status = "DRIFT  "
+				rc = 1
+			}
+			fmt.Printf("%s %-40s %-9s %12.2f -> %12.2f  (%+.1f%%)\n", status, n, what, ov, nv, 100*(nv-ov)/max(ov, 1))
+		}
+		if metric == "allocs" || metric == "all" {
+			check("allocs/op", o.AllocsPerOp, e.AllocsPerOp)
+		}
+		if metric == "ns" || metric == "all" {
+			check("ns/op", o.NsPerOp, e.NsPerOp)
+		}
+	}
+	// Benchmarks only in the new run have no baseline to gate against;
+	// fail so the baseline gets refreshed instead of silently un-gating
+	// them.
+	extras := make([]string, 0)
+	for n := range newM {
+		if _, ok := oldM[n]; !ok {
+			extras = append(extras, n)
+		}
+	}
+	sort.Strings(extras)
+	for _, n := range extras {
+		fmt.Printf("EXTRA   %-40s not in %s — refresh the baseline\n", n, oldPath)
+		rc = 1
+	}
+	return rc
+}
+
+func main() {
+	var (
+		diffMode = flag.Bool("diff", false, "compare two BENCH json files: benchjson -diff old.json new.json")
+		tol      = flag.Float64("tol", 0.2, "relative tolerance for -diff")
+		metric   = flag.String("metric", "allocs", "what -diff gates on: allocs, ns, or all")
+	)
+	flag.Parse()
+
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff [-tol 0.2] [-metric allocs|ns|all] old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(diff(flag.Arg(0), flag.Arg(1), *tol, *metric))
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	entries, err := parse(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(2)
+	}
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	fmt.Println(string(out))
+}

@@ -17,6 +17,7 @@ package alloy
 
 import (
 	"fmt"
+	"math/bits"
 
 	"banshee/internal/mc"
 	"banshee/internal/mem"
@@ -43,11 +44,12 @@ type line struct {
 
 // Alloy is the scheme instance. Not safe for concurrent use.
 type Alloy struct {
-	name  string
-	sets  []line
-	mask  uint64
-	rng   *util.RNG
-	fillP float64
+	name     string
+	sets     []line
+	mask     uint64
+	tagShift uint // precomputed popcount(mask): the tag shift
+	rng      *util.RNG
+	fillP    float64
 
 	// ops is the scratch buffer reused by every Access (see the
 	// ownership note on mc.Result).
@@ -74,11 +76,12 @@ func New(cfg Config) *Alloy {
 		name = fmt.Sprintf("Alloy %g", cfg.FillProb)
 	}
 	return &Alloy{
-		name:  name,
-		sets:  make([]line, n),
-		mask:  uint64(n - 1),
-		rng:   util.NewRNG(cfg.Seed ^ 0xA110C),
-		fillP: cfg.FillProb,
+		name:     name,
+		sets:     make([]line, n),
+		mask:     uint64(n - 1),
+		tagShift: uint(bits.OnesCount64(uint64(n - 1))),
+		rng:      util.NewRNG(cfg.Seed ^ 0xA110C),
+		fillP:    cfg.FillProb,
 	}
 }
 
@@ -87,15 +90,7 @@ func (a *Alloy) Name() string { return a.name }
 
 func (a *Alloy) slot(addr mem.Addr) (*line, uint64) {
 	ln := mem.LineNum(addr)
-	return &a.sets[ln&a.mask], ln >> uint(popcount(a.mask))
-}
-
-func popcount(x uint64) int {
-	n := 0
-	for ; x != 0; x &= x - 1 {
-		n++
-	}
-	return n
+	return &a.sets[ln&a.mask], ln >> a.tagShift
 }
 
 // Access implements mc.Scheme.
@@ -150,7 +145,7 @@ func (a *Alloy) Access(req mem.Request) mc.Result {
 // addressed by addr (same set index, the slot's own tag).
 func (a *Alloy) victimAddr(addr mem.Addr, victimTag uint64) mem.Addr {
 	set := mem.LineNum(addr) & a.mask
-	return mem.LineBase(victimTag<<uint(popcount(a.mask)) | set)
+	return mem.LineBase(victimTag<<a.tagShift | set)
 }
 
 // eviction handles an LLC dirty write-back: BEAR write probe (32 B tag

@@ -105,6 +105,8 @@ type Banshee struct {
 	tlbs      []*vm.TLB
 	cost      vm.CostModel
 	pageShift uint
+	mcMask    uint64 // len(tbs)-1 when a power of two (the common case)
+	mcPow2    bool
 	lines     int // lines per (configured) page
 	threshold float64
 	lruTick   uint32
@@ -198,6 +200,9 @@ func New(cfg Config, pt *vm.PageTable, tlbs []*vm.TLB, cost vm.CostModel) *Bansh
 	for i := 0; i < cfg.MCs; i++ {
 		b.tbs = append(b.tbs, NewTagBuffer(cfg.TagBufferEntries, cfg.TagBufferWays))
 	}
+	if n := uint64(len(b.tbs)); n&(n-1) == 0 {
+		b.mcPow2, b.mcMask = true, n-1
+	}
 	return b
 }
 
@@ -230,6 +235,9 @@ func (b *Banshee) frameKey(page uint64) uint64 {
 }
 
 func (b *Banshee) bufferFor(page uint64) *TagBuffer {
+	if b.mcPow2 {
+		return b.tbs[page&b.mcMask]
+	}
 	return b.tbs[page%uint64(len(b.tbs))]
 }
 

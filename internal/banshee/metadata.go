@@ -2,6 +2,7 @@ package banshee
 
 import (
 	"fmt"
+	"math/bits"
 
 	"banshee/internal/mc"
 )
@@ -87,9 +88,18 @@ func (m *metaSet) halve() {
 }
 
 // metadata is the full tag/counter store: one metaSet per cache set.
+// The per-set cached/cand slices are views into two flat backing arrays
+// (all cached entries contiguous, all candidate entries contiguous), so
+// walking a set — or the whole store, as halve-on-saturation and the
+// tests do — stays within one allocation instead of hopping across
+// per-set slices. setBits is precomputed: tagOf/pageOf used to rederive
+// log2(sets) with a shift loop on every call, which profiled on the
+// replacement path.
 type metadata struct {
 	sets     []metaSet
 	maxCount uint32
+	setBits  uint
+	setMask  uint64
 }
 
 func newMetadata(nsets, ways, candidates int, counterBits int) *metadata {
@@ -99,11 +109,15 @@ func newMetadata(nsets, ways, candidates int, counterBits int) *metadata {
 	md := &metadata{
 		sets:     make([]metaSet, nsets),
 		maxCount: 1<<uint(counterBits) - 1,
+		setMask:  uint64(nsets - 1),
+		setBits:  uint(bits.OnesCount64(uint64(nsets - 1))),
 	}
+	cachedAll := make([]cachedEntry, nsets*ways)
+	candAll := make([]candEntry, nsets*candidates)
 	for i := range md.sets {
 		md.sets[i] = metaSet{
-			cached: make([]cachedEntry, ways),
-			cand:   make([]candEntry, candidates),
+			cached: cachedAll[i*ways : (i+1)*ways : (i+1)*ways],
+			cand:   candAll[i*candidates : (i+1)*candidates : (i+1)*candidates],
 		}
 	}
 	return md
@@ -112,28 +126,20 @@ func newMetadata(nsets, ways, candidates int, counterBits int) *metadata {
 // set returns the metadata set for a page, using the low page-number
 // bits as the set index (the caller guarantees power-of-two set counts).
 func (md *metadata) set(page uint64) *metaSet {
-	return &md.sets[page&uint64(len(md.sets)-1)]
+	return &md.sets[page&md.setMask]
 }
 
 // tagOf strips the set-index bits from a page number.
 func (md *metadata) tagOf(page uint64) uint64 {
-	bits := 0
-	for n := len(md.sets); n > 1; n >>= 1 {
-		bits++
-	}
-	return page >> uint(bits)
+	return page >> md.setBits
 }
 
 // pageOf reconstructs a page number from a set index and tag.
 func (md *metadata) pageOf(setIdx int, tag uint64) uint64 {
-	bits := 0
-	for n := len(md.sets); n > 1; n >>= 1 {
-		bits++
-	}
-	return tag<<uint(bits) | uint64(setIdx)
+	return tag<<md.setBits | uint64(setIdx)
 }
 
 // setIndex returns the set index for a page.
 func (md *metadata) setIndex(page uint64) int {
-	return int(page & uint64(len(md.sets)-1))
+	return int(page & md.setMask)
 }

@@ -13,26 +13,32 @@ import (
 	"banshee/internal/mem"
 )
 
-// tbEntry is one tag-buffer slot (Fig. 2): physical page tag, valid bit,
-// cached/way mapping, and the remap bit marking mappings not yet written
-// back to the page table.
-type tbEntry struct {
-	page   uint64
-	valid  bool
-	remap  bool
-	cached bool
-	way    uint8
-	stamp  uint64 // LRU among remap-unset entries
-}
+// Tag-buffer entry state bits (Fig. 2): valid, the remap bit marking
+// mappings not yet written back to the page table, and the cached bit
+// of the buffered mapping.
+const (
+	tbValid uint8 = 1 << iota
+	tbRemap
+	tbCached
+)
 
 // TagBuffer is one memory controller's buffer of recently remapped
 // pages (§3.3). It is set-associative with LRU replacement masked to
 // entries whose remap bit is unset: remapped entries are pinned until a
 // flush writes them to the page table.
+//
+// Entry state is struct-of-arrays over flat backing storage (slot =
+// set×ways+way): the lookup on every LLC miss scans a contiguous run
+// of page tags, touching the state/way/stamp arrays only on a hit, and
+// DrainRemaps's full sweep is one linear pass over the state bytes.
 type TagBuffer struct {
-	sets [][]tbEntry
-	mask uint64
-	tick uint64
+	pages  []uint64
+	stamps []uint64 // LRU among remap-unset entries
+	state  []uint8
+	ways   []uint8
+	nways  int
+	mask   uint64
+	tick   uint64
 
 	remapCount int // live entries with remap set
 
@@ -53,15 +59,18 @@ func NewTagBuffer(entries, ways int) *TagBuffer {
 	if nsets&(nsets-1) != 0 {
 		panic(fmt.Sprintf("banshee: tag buffer set count %d must be a power of two", nsets))
 	}
-	tb := &TagBuffer{sets: make([][]tbEntry, nsets), mask: uint64(nsets - 1)}
-	for i := range tb.sets {
-		tb.sets[i] = make([]tbEntry, ways)
+	return &TagBuffer{
+		pages:  make([]uint64, entries),
+		stamps: make([]uint64, entries),
+		state:  make([]uint8, entries),
+		ways:   make([]uint8, entries),
+		nways:  ways,
+		mask:   uint64(nsets - 1),
 	}
-	return tb
 }
 
 // Capacity returns the total number of slots.
-func (tb *TagBuffer) Capacity() int { return len(tb.sets) * len(tb.sets[0]) }
+func (tb *TagBuffer) Capacity() int { return len(tb.pages) }
 
 // RemapFill returns the fraction of slots holding un-flushed remaps —
 // the quantity compared against the flush threshold (70% in Table 3).
@@ -73,12 +82,15 @@ func (tb *TagBuffer) RemapFill() float64 {
 // overrides whatever mapping the request carried from the TLB (§3.2).
 func (tb *TagBuffer) Lookup(page uint64) (mem.Mapping, bool) {
 	tb.tick++
-	set := tb.sets[page&tb.mask]
-	for i := range set {
-		if set[i].valid && set[i].page == page {
-			set[i].stamp = tb.tick
+	base := int(page&tb.mask) * tb.nways
+	pages := tb.pages[base : base+tb.nways]
+	state := tb.state[base : base+tb.nways]
+	for i, p := range pages {
+		if p == page && state[i]&tbValid != 0 {
+			s := base + i
+			tb.stamps[s] = tb.tick
 			tb.hits++
-			return mem.Mapping{Known: true, Cached: set[i].cached, Way: set[i].way}, true
+			return mem.Mapping{Known: true, Cached: state[i]&tbCached != 0, Way: tb.ways[s]}, true
 		}
 	}
 	tb.misses++
@@ -102,46 +114,60 @@ func (tb *TagBuffer) InsertClean(page uint64, cached bool, way uint8) bool {
 
 func (tb *TagBuffer) insert(page uint64, cached bool, way uint8, remap bool) bool {
 	tb.tick++
-	set := tb.sets[page&tb.mask]
+	base := int(page&tb.mask) * tb.nways
 	// Update in place if present.
-	for i := range set {
-		if set[i].valid && set[i].page == page {
-			if remap && !set[i].remap {
+	for s := base; s < base+tb.nways; s++ {
+		if tb.state[s]&tbValid != 0 && tb.pages[s] == page {
+			if remap && tb.state[s]&tbRemap == 0 {
 				tb.remapCount++
 			}
-			set[i].cached = cached
-			set[i].way = way
-			set[i].remap = set[i].remap || remap
-			set[i].stamp = tb.tick
+			st := tb.state[s] &^ tbCached
+			if cached {
+				st |= tbCached
+			}
+			if remap {
+				st |= tbRemap
+			}
+			tb.state[s] = st
+			tb.ways[s] = way
+			tb.stamps[s] = tb.tick
 			return true
 		}
 	}
 	// Choose a victim: an invalid slot, else the LRU among remap-unset
 	// slots (the remap bits mask the LRU algorithm, §3.3).
 	victim := -1
-	for i := range set {
-		if !set[i].valid {
-			victim = i
+	for s := base; s < base+tb.nways; s++ {
+		if tb.state[s]&tbValid == 0 {
+			victim = s
 			break
 		}
 	}
 	if victim < 0 {
-		for i := range set {
-			if set[i].remap {
+		for s := base; s < base+tb.nways; s++ {
+			if tb.state[s]&tbRemap != 0 {
 				continue
 			}
-			if victim < 0 || set[i].stamp < set[victim].stamp {
-				victim = i
+			if victim < 0 || tb.stamps[s] < tb.stamps[victim] {
+				victim = s
 			}
 		}
 	}
 	if victim < 0 {
 		return false // all ways pinned by remaps: caller must flush
 	}
+	st := tbValid
+	if cached {
+		st |= tbCached
+	}
 	if remap {
+		st |= tbRemap
 		tb.remapCount++
 	}
-	set[victim] = tbEntry{page: page, valid: true, remap: remap, cached: cached, way: way, stamp: tb.tick}
+	tb.pages[victim] = page
+	tb.state[victim] = st
+	tb.ways[victim] = way
+	tb.stamps[victim] = tb.tick
 	return true
 }
 
@@ -159,13 +185,10 @@ type Remapped struct {
 // caller must consume it before draining again.
 func (tb *TagBuffer) DrainRemaps() []Remapped {
 	out := tb.drained[:0]
-	for s := range tb.sets {
-		set := tb.sets[s]
-		for i := range set {
-			if set[i].valid && set[i].remap {
-				out = append(out, Remapped{Page: set[i].page, Cached: set[i].cached, Way: set[i].way})
-				set[i].remap = false
-			}
+	for s, st := range tb.state {
+		if st&(tbValid|tbRemap) == tbValid|tbRemap {
+			out = append(out, Remapped{Page: tb.pages[s], Cached: st&tbCached != 0, Way: tb.ways[s]})
+			tb.state[s] = st &^ tbRemap
 		}
 	}
 	tb.remapCount = 0

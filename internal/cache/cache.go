@@ -10,10 +10,17 @@
 // physical page (HMA's address-consistency scrub, large-page
 // reconfiguration) and tagging lines with metadata bits (the per-line
 // page-size bit of §4.3 used to route LLC dirty evictions).
+//
+// Storage is struct-of-arrays over one flat backing allocation (tags,
+// stamps, and packed flag/meta bytes in parallel slices indexed by
+// set×ways+way), so the way scan on every access walks contiguous
+// memory instead of hopping across per-set slice headers — see
+// DESIGN.md §10 for the layout contract.
 package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"banshee/internal/mem"
 	"banshee/internal/util"
@@ -83,13 +90,11 @@ type Eviction struct {
 	Meta  uint8
 }
 
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	meta  uint8
-	stamp uint64 // LRU: last-touch tick; FIFO: insertion tick
-}
+// Line state bits in the flags array.
+const (
+	fValid uint8 = 1 << iota
+	fDirty
+)
 
 // Stats counts cache events.
 type Stats struct {
@@ -104,10 +109,20 @@ type Stats struct {
 }
 
 // Cache is a single set-associative cache. Not safe for concurrent use.
+//
+// Line state is struct-of-arrays: slot s = set×Ways+way holds its tag
+// in tags[s], its replacement stamp in stamps[s], and valid/dirty bits
+// plus caller metadata in flags[s]/meta[s].
 type Cache struct {
 	cfg      Config
-	sets     [][]line
+	tags     []uint64
+	stamps   []uint64 // LRU: last-touch tick; FIFO: insertion tick
+	flags    []uint8
+	meta     []uint8
+	ways     int
+	nsets    int
 	setMask  uint64
+	setBits  uint // precomputed popcount(setMask): the tag shift
 	lineBits uint
 	tick     uint64
 	rng      *util.RNG
@@ -121,18 +136,20 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	nsets := cfg.SizeBytes / cfg.LineBytes / cfg.Ways
+	n := nsets * cfg.Ways
 	c := &Cache{
 		cfg:     cfg,
-		sets:    make([][]line, nsets),
+		tags:    make([]uint64, n),
+		stamps:  make([]uint64, n),
+		flags:   make([]uint8, n),
+		meta:    make([]uint8, n),
+		ways:    cfg.Ways,
+		nsets:   nsets,
 		setMask: uint64(nsets - 1),
 		rng:     util.NewRNG(cfg.Seed ^ 0xCAC4E),
 	}
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
-	}
-	for b := cfg.LineBytes; b > 1; b >>= 1 {
-		c.lineBits++
-	}
+	c.setBits = uint(bits.OnesCount64(c.setMask))
+	c.lineBits = uint(bits.TrailingZeros64(uint64(cfg.LineBytes)))
 	return c
 }
 
@@ -143,30 +160,23 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) Stats() Stats { return c.stats }
 
 // Sets returns the number of sets (diagnostic).
-func (c *Cache) Sets() int { return len(c.sets) }
+func (c *Cache) Sets() int { return c.nsets }
 
 func (c *Cache) index(a mem.Addr) (set uint64, tag uint64) {
 	l := uint64(a) >> c.lineBits
-	return l & c.setMask, l >> uint(popcount(c.setMask))
-}
-
-func popcount(x uint64) int {
-	n := 0
-	for ; x != 0; x &= x - 1 {
-		n++
-	}
-	return n
+	return l & c.setMask, l >> c.setBits
 }
 
 func (c *Cache) addrOf(set uint64, tag uint64) mem.Addr {
-	return mem.Addr((tag<<uint(popcount(c.setMask)) | set) << c.lineBits)
+	return mem.Addr((tag<<c.setBits | set) << c.lineBits)
 }
 
 // Lookup reports whether a's line is present without changing any state.
 func (c *Cache) Lookup(a mem.Addr) bool {
 	set, tag := c.index(a)
-	for i := range c.sets[set] {
-		if c.sets[set][i].valid && c.sets[set][i].tag == tag {
+	base := int(set) * c.ways
+	for s := base; s < base+c.ways; s++ {
+		if c.flags[s]&fValid != 0 && c.tags[s] == tag {
 			return true
 		}
 	}
@@ -177,19 +187,34 @@ func (c *Cache) Lookup(a mem.Addr) bool {
 // returns whether the access hit, and (on a miss that displaced a dirty
 // line) the eviction the caller must write back. meta is stored on the
 // line on fill and on write (carrying e.g. the page-size bit downstream).
+//
+// The way scan doubles as the victim pre-selection: by the time a miss
+// is known, every way's valid bit has been read, so the first invalid
+// way (the victim preferred by all policies) falls out of the same pass
+// instead of a second scan in fill.
 func (c *Cache) Access(a mem.Addr, write bool, meta uint8) (hit bool, ev *Eviction) {
 	c.stats.Accesses++
 	c.tick++
 	set, tag := c.index(a)
-	s := c.sets[set]
-	for i := range s {
-		if s[i].valid && s[i].tag == tag {
+	base := int(set) * c.ways
+	tags := c.tags[base : base+c.ways]
+	flags := c.flags[base : base+c.ways]
+	invalid := -1
+	for i, tg := range tags {
+		if flags[i]&fValid == 0 {
+			if invalid < 0 {
+				invalid = i
+			}
+			continue
+		}
+		if tg == tag {
+			s := base + i
 			if c.cfg.Policy == LRU {
-				s[i].stamp = c.tick
+				c.stamps[s] = c.tick
 			}
 			if write {
-				s[i].dirty = true
-				s[i].meta = meta
+				c.flags[s] |= fDirty
+				c.meta[s] = meta
 				c.stats.WriteHits++
 			}
 			return true, nil
@@ -199,7 +224,7 @@ func (c *Cache) Access(a mem.Addr, write bool, meta uint8) (hit bool, ev *Evicti
 	if write {
 		c.stats.WriteMiss++
 	}
-	ev = c.fill(set, tag, write, meta)
+	ev = c.fill(set, invalid, tag, write, meta)
 	return false, ev
 }
 
@@ -208,56 +233,65 @@ func (c *Cache) Access(a mem.Addr, write bool, meta uint8) (hit bool, ev *Evicti
 func (c *Cache) Fill(a mem.Addr, dirty bool, meta uint8) *Eviction {
 	c.tick++
 	set, tag := c.index(a)
-	s := c.sets[set]
-	for i := range s {
-		if s[i].valid && s[i].tag == tag {
-			if dirty {
-				s[i].dirty = true
+	base := int(set) * c.ways
+	tags := c.tags[base : base+c.ways]
+	flags := c.flags[base : base+c.ways]
+	invalid := -1
+	for i, tg := range tags {
+		if flags[i]&fValid == 0 {
+			if invalid < 0 {
+				invalid = i
 			}
-			s[i].meta = meta
+			continue
+		}
+		if tg == tag {
+			s := base + i
+			if dirty {
+				c.flags[s] |= fDirty
+			}
+			c.meta[s] = meta
 			return nil
 		}
 	}
-	return c.fill(set, tag, dirty, meta)
+	return c.fill(set, invalid, tag, dirty, meta)
 }
 
-func (c *Cache) fill(set uint64, tag uint64, dirty bool, meta uint8) *Eviction {
-	s := c.sets[set]
-	victim := 0
-	switch c.cfg.Policy {
-	case Random:
-		// Prefer an invalid way; otherwise pick at random.
-		victim = -1
-		for i := range s {
-			if !s[i].valid {
-				victim = i
-				break
-			}
-		}
-		if victim < 0 {
-			victim = c.rng.Intn(len(s))
-		}
+// fill inserts into set, evicting per policy. invalid is the first
+// invalid way found by the caller's scan (-1 when the set is full) —
+// every policy prefers it, and when the set is full the LRU/FIFO
+// victim is the minimal stamp over the (all-valid) ways.
+func (c *Cache) fill(set uint64, invalid int, tag uint64, dirty bool, meta uint8) *Eviction {
+	base := int(set) * c.ways
+	var victim int
+	switch {
+	case invalid >= 0:
+		victim = base + invalid
+	case c.cfg.Policy == Random:
+		victim = base + c.rng.Intn(c.ways)
 	default: // LRU and FIFO both evict the smallest stamp
-		for i := 1; i < len(s); i++ {
-			if !s[i].valid {
-				victim = i
-				break
-			}
-			if s[victim].valid && s[i].stamp < s[victim].stamp {
-				victim = i
+		stamps := c.stamps[base : base+c.ways]
+		v, min := 0, stamps[0]
+		for i := 1; i < len(stamps); i++ {
+			if stamps[i] < min {
+				v, min = i, stamps[i]
 			}
 		}
-		if !s[0].valid {
-			victim = 0
-		}
+		victim = base + v
 	}
 	var ev *Eviction
-	if s[victim].valid && s[victim].dirty {
+	if c.flags[victim]&(fValid|fDirty) == fValid|fDirty {
 		c.stats.Evictions++
-		c.ev = Eviction{Addr: c.addrOf(set, s[victim].tag), Dirty: true, Meta: s[victim].meta}
+		c.ev = Eviction{Addr: c.addrOf(set, c.tags[victim]), Dirty: true, Meta: c.meta[victim]}
 		ev = &c.ev
 	}
-	s[victim] = line{tag: tag, valid: true, dirty: dirty, meta: meta, stamp: c.tick}
+	c.tags[victim] = tag
+	c.stamps[victim] = c.tick
+	c.meta[victim] = meta
+	if dirty {
+		c.flags[victim] = fValid | fDirty
+	} else {
+		c.flags[victim] = fValid
+	}
 	c.stats.Fills++
 	return ev
 }
@@ -266,20 +300,28 @@ func (c *Cache) fill(set uint64, tag uint64, dirty bool, meta uint8) *Eviction {
 // dirty.
 func (c *Cache) Invalidate(a mem.Addr) *Eviction {
 	set, tag := c.index(a)
-	s := c.sets[set]
-	for i := range s {
-		if s[i].valid && s[i].tag == tag {
+	base := int(set) * c.ways
+	for s := base; s < base+c.ways; s++ {
+		if c.flags[s]&fValid != 0 && c.tags[s] == tag {
 			c.stats.Invalidate++
 			var ev *Eviction
-			if s[i].dirty {
-				c.ev = Eviction{Addr: c.addrOf(set, s[i].tag), Dirty: true, Meta: s[i].meta}
+			if c.flags[s]&fDirty != 0 {
+				c.ev = Eviction{Addr: c.addrOf(set, c.tags[s]), Dirty: true, Meta: c.meta[s]}
 				ev = &c.ev
 			}
-			s[i] = line{}
+			c.clearSlot(s)
 			return ev
 		}
 	}
 	return nil
+}
+
+// clearSlot resets one line slot to the invalid state.
+func (c *Cache) clearSlot(s int) {
+	c.tags[s] = 0
+	c.stamps[s] = 0
+	c.flags[s] = 0
+	c.meta[s] = 0
 }
 
 // FlushPage removes every line belonging to the 4 KB page containing a,
@@ -292,14 +334,14 @@ func (c *Cache) FlushPage(a mem.Addr) []Eviction {
 	for off := 0; off < mem.PageBytes; off += c.cfg.LineBytes {
 		la := base + mem.Addr(off)
 		set, tag := c.index(la)
-		s := c.sets[set]
-		for i := range s {
-			if s[i].valid && s[i].tag == tag {
+		sb := int(set) * c.ways
+		for s := sb; s < sb+c.ways; s++ {
+			if c.flags[s]&fValid != 0 && c.tags[s] == tag {
 				c.stats.Flushes++
-				if s[i].dirty {
-					evs = append(evs, Eviction{Addr: la, Dirty: true, Meta: s[i].meta})
+				if c.flags[s]&fDirty != 0 {
+					evs = append(evs, Eviction{Addr: la, Dirty: true, Meta: c.meta[s]})
 				}
-				s[i] = line{}
+				c.clearSlot(s)
 			}
 		}
 	}
@@ -309,11 +351,9 @@ func (c *Cache) FlushPage(a mem.Addr) []Eviction {
 // Occupancy returns the number of valid lines (diagnostic, tests).
 func (c *Cache) Occupancy() int {
 	n := 0
-	for _, s := range c.sets {
-		for i := range s {
-			if s[i].valid {
-				n++
-			}
+	for _, f := range c.flags {
+		if f&fValid != 0 {
+			n++
 		}
 	}
 	return n

@@ -136,6 +136,11 @@ type DRAM struct {
 	gapLat     uint64 // inter-access bus gap for random (demand) accesses
 	maxLead    uint64 // write-queue lead bound in bus-backlog cycles
 	cpuPerBus  float64
+
+	// chanMask/bankMask replace the per-access modulo when the counts
+	// are powers of two (every shipped configuration); -1 disables.
+	chanMask int64
+	bankMask int64
 }
 
 // New builds a DRAM from cfg. It panics on invalid configuration: a bad
@@ -161,6 +166,13 @@ func New(cfg Config) *DRAM {
 	d.maxLead = cfg.MaxWriteLead
 	if d.maxLead == 0 {
 		d.maxLead = 1000
+	}
+	d.chanMask, d.bankMask = -1, -1
+	if n := cfg.Channels; n&(n-1) == 0 {
+		d.chanMask = int64(n - 1)
+	}
+	if n := cfg.BanksPerChannel; n&(n-1) == 0 {
+		d.bankMask = int64(n - 1)
 	}
 	return d
 }
@@ -189,6 +201,9 @@ func (d *DRAM) transferCycles(n int) uint64 {
 // interleaved across channels, per the paper's page-granularity MC
 // mapping assumption (§2).
 func (d *DRAM) channelOf(a mem.Addr) int {
+	if d.chanMask >= 0 {
+		return int(mem.PageNum(a) & uint64(d.chanMask))
+	}
 	return int(mem.PageNum(a) % uint64(len(d.chans)))
 }
 
@@ -232,7 +247,12 @@ func (d *DRAM) Access(now uint64, a mem.Addr, n int, write, critical bool) uint6
 	}
 
 	row := uint64(a) / uint64(d.cfg.RowBytes)
-	bk := &ch.banks[row%uint64(len(ch.banks))]
+	var bk *bank
+	if d.bankMask >= 0 {
+		bk = &ch.banks[row&uint64(d.bankMask)]
+	} else {
+		bk = &ch.banks[row%uint64(len(ch.banks))]
+	}
 
 	start := max64(now, bk.busyUntil)
 	var lat uint64

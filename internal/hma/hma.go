@@ -19,6 +19,7 @@ import (
 	"banshee/internal/mc"
 	"banshee/internal/mem"
 	"banshee/internal/stats"
+	"banshee/internal/util"
 )
 
 // Config parameterizes HMA.
@@ -48,11 +49,18 @@ type resident struct {
 }
 
 // HMA is the scheme instance. Not safe for concurrent use.
+//
+// Residency and the per-epoch access counts are flat open-addressed
+// tables: the per-access path (one residency probe, one counter
+// increment) touches contiguous arrays, and the epoch routine iterates
+// them in a deterministically sorted order — the old builtin-map
+// version emitted move traffic in random map order, which only stayed
+// reproducible because the move ops are timing-order-insensitive.
 type HMA struct {
 	cfg      Config
 	capacity int // pages
-	cached   map[uint64]*resident
-	counts   map[uint64]uint64 // epoch access counts
+	cached   util.Flat64[*resident]
+	counts   util.Flat64[uint64] // epoch access counts
 	accesses uint64
 
 	// ops and sw are the scratch buffers reused by every Access (see
@@ -77,8 +85,7 @@ func New(cfg Config) *HMA {
 	return &HMA{
 		cfg:      cfg,
 		capacity: cap,
-		cached:   make(map[uint64]*resident, cap),
-		counts:   make(map[uint64]uint64),
+		cached:   *util.NewFlat64[*resident](cap),
 	}
 }
 
@@ -91,7 +98,7 @@ func (h *HMA) Access(req mem.Request) mc.Result {
 	h.sw = h.sw[:0]
 	addr := mem.LineAddr(req.Addr)
 	page := mem.PageNum(addr)
-	r := h.cached[page]
+	r, _ := h.cached.Get(page)
 
 	if req.Eviction {
 		if r != nil {
@@ -103,7 +110,7 @@ func (h *HMA) Access(req mem.Request) mc.Result {
 		return mc.Result{Hit: false, Ops: h.ops}
 	}
 
-	h.counts[page]++
+	*h.counts.Ptr(page)++
 	h.accesses++
 	hit := r != nil
 	if hit {
@@ -132,9 +139,14 @@ func (h *HMA) epoch() mc.SWCost {
 		page  uint64
 		count uint64
 	}
-	ranked := make([]pc, 0, len(h.counts))
-	for p, c := range h.counts {
+	ranked := make([]pc, 0, h.counts.Len())
+	h.counts.Range(func(p, c uint64) bool {
 		ranked = append(ranked, pc{p, c})
+		return true
+	})
+	isCached := func(p uint64) bool {
+		r, _ := h.cached.Get(p)
+		return r != nil
 	}
 	sort.Slice(ranked, func(i, j int) bool {
 		if ranked[i].count != ranked[j].count {
@@ -142,26 +154,37 @@ func (h *HMA) epoch() mc.SWCost {
 		}
 		// Tie-break: keep currently cached pages (hysteresis), then by
 		// page number for determinism.
-		ci, cj := h.cached[ranked[i].page] != nil, h.cached[ranked[j].page] != nil
+		ci, cj := isCached(ranked[i].page), isCached(ranked[j].page)
 		if ci != cj {
 			return ci
 		}
 		return ranked[i].page < ranked[j].page
 	})
 	want := make(map[uint64]bool, h.capacity)
+	wantOrder := make([]uint64, 0, h.capacity) // rank order, for move-ins
 	for i := 0; i < len(ranked) && i < h.capacity; i++ {
 		// Only pages with at least two epoch touches are worth a move.
-		if ranked[i].count < 2 && h.cached[ranked[i].page] == nil {
+		if ranked[i].count < 2 && !isCached(ranked[i].page) {
 			continue
 		}
 		want[ranked[i].page] = true
+		wantOrder = append(wantOrder, ranked[i].page)
 	}
 
-	moves := uint64(0)
-	for p, r := range h.cached {
-		if want[p] {
-			continue
+	// Move-outs in ascending page order, move-ins in rank order: both
+	// passes iterate deterministic sequences, not map order.
+	evict := make([]uint64, 0, h.cached.Len())
+	h.cached.Range(func(p uint64, _ *resident) bool {
+		if !want[p] {
+			evict = append(evict, p)
 		}
+		return true
+	})
+	sort.Slice(evict, func(i, j int) bool { return evict[i] < evict[j] })
+
+	moves := uint64(0)
+	for _, p := range evict {
+		r, _ := h.cached.Get(p)
 		// Move out; dirty pages stream back to off-package memory.
 		if r.dirty {
 			a := mem.PageBase(p)
@@ -170,11 +193,11 @@ func (h *HMA) epoch() mc.SWCost {
 				mem.Op{Target: mem.OffPackage, Addr: a, Bytes: mem.PageBytes, Write: true, Class: mem.ClassReplacement},
 			)
 		}
-		delete(h.cached, p)
+		h.cached.Delete(p)
 		moves++
 	}
-	for p := range want {
-		if h.cached[p] != nil {
+	for _, p := range wantOrder {
+		if isCached(p) {
 			continue
 		}
 		a := mem.PageBase(p)
@@ -182,12 +205,12 @@ func (h *HMA) epoch() mc.SWCost {
 			mem.Op{Target: mem.OffPackage, Addr: a, Bytes: mem.PageBytes, Class: mem.ClassReplacement},
 			mem.Op{Target: mem.InPackage, Addr: a, Bytes: mem.PageBytes, Write: true, Class: mem.ClassReplacement},
 		)
-		h.cached[p] = &resident{}
+		h.cached.Put(p, &resident{})
 		moves++
 	}
 	h.moves += moves
 	// Epoch counters reset: HMA only sees per-epoch history.
-	clear(h.counts)
+	h.counts.Clear()
 	return mc.SWCost{
 		AllCoresCycles: h.cfg.FixedEpochCycles + moves*h.cfg.PerPageMoveCycles,
 	}
@@ -200,7 +223,7 @@ func (h *HMA) FillStats(s *stats.Sim) {
 }
 
 // Resident returns the number of cached pages (diagnostic, tests).
-func (h *HMA) Resident() int { return len(h.cached) }
+func (h *HMA) Resident() int { return h.cached.Len() }
 
 // Epochs returns how many remap epochs have run (diagnostic, tests).
 func (h *HMA) Epochs() uint64 { return h.epochs }

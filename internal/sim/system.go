@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"io"
@@ -58,7 +57,7 @@ type System struct {
 	// advanced by Step in instruction-count increments. The warmup
 	// snapshot, epoch samples, and the final measurement window are all
 	// windows between two marks of the same capture mechanism.
-	h            coreHeap
+	h            coreQueue
 	started      bool
 	finished     bool
 	closed       bool
@@ -177,24 +176,74 @@ func NewSystem(cfg Config) (*System, error) {
 // Scheme returns the scheme under test (diagnostics, tests).
 func (s *System) Scheme() mc.Scheme { return s.scheme }
 
-// coreHeap orders cores by local time (ties by id for determinism).
-type coreHeap []*core
+// coreQueue is the per-event scheduler: a specialized binary min-heap
+// over *core ordered by (local time, id). It replaces the previous
+// container/heap implementation, whose interface{} Push/Pop boxed a
+// pointer on every scheduling event — the devirtualized sift loops
+// below compile to direct slice code with no interface dispatch or
+// allocation. The (time, id) key is unique per core, so the pop order
+// — and therefore the simulation — is identical to any correct
+// min-heap's, container/heap included.
+type coreQueue []*core
 
-func (h coreHeap) Len() int { return len(h) }
-func (h coreHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+func (q coreQueue) less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
 	}
-	return h[i].id < h[j].id
+	return q[i].id < q[j].id
 }
-func (h coreHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *coreHeap) Push(x interface{}) { *h = append(*h, x.(*core)) }
-func (h *coreHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	c := old[n-1]
-	*h = old[:n-1]
-	return c
+
+// push inserts c and restores the heap order.
+func (q *coreQueue) push(c *core) {
+	*q = append(*q, c)
+	h := *q
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest core.
+func (q *coreQueue) pop() *core {
+	h := *q
+	n := len(h) - 1
+	top := h[0]
+	h[0] = h[n]
+	h[n] = nil // release the reference
+	*q = h[:n]
+	q.siftDown(0)
+	return top
+}
+
+// siftDown restores heap order below slot i.
+func (q coreQueue) siftDown(i int) {
+	n := len(q)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && q.less(r, l) {
+			min = r
+		}
+		if !q.less(min, i) {
+			return
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+}
+
+// heapify establishes the heap invariant over arbitrary contents.
+func (q coreQueue) heapify() {
+	for i := len(q)/2 - 1; i >= 0; i-- {
+		q.siftDown(i)
+	}
 }
 
 // Workload returns the source driving the system (diagnostics, tests).
@@ -202,11 +251,11 @@ func (s *System) Workload() workload.Source { return s.work }
 
 // start initializes the scheduling heap; the first Step calls it.
 func (s *System) start() {
-	s.h = make(coreHeap, 0, len(s.cores))
+	s.h = make(coreQueue, 0, len(s.cores))
 	for _, c := range s.cores {
 		s.h = append(s.h, c)
 	}
-	heap.Init(&s.h)
+	s.h.heapify()
 	s.started = true
 }
 
@@ -230,8 +279,8 @@ func (s *System) Step(n uint64) (done bool, err error) {
 		s.start()
 	}
 	target := s.totalRetired + n
-	for s.h.Len() > 0 && s.totalRetired < target {
-		c := heap.Pop(&s.h).(*core)
+	for len(s.h) > 0 && s.totalRetired < target {
+		c := s.h.pop()
 		if c.pending > 0 {
 			c.time += c.pending
 			c.pending = 0
@@ -253,14 +302,14 @@ func (s *System) Step(n uint64) (done bool, err error) {
 		if c.retired >= s.cfg.InstrPerCore {
 			c.done = true
 		} else {
-			heap.Push(&s.h, c)
+			s.h.push(c)
 		}
 	}
 	if err := s.sourceErr(); err != nil {
 		s.fail(err)
 		return false, s.runErr
 	}
-	if s.h.Len() == 0 {
+	if len(s.h) == 0 {
 		s.finish()
 		return true, nil
 	}

@@ -19,6 +19,7 @@ import (
 	"banshee/internal/mc"
 	"banshee/internal/mem"
 	"banshee/internal/stats"
+	"banshee/internal/util"
 )
 
 // Config sizes the TDC cache.
@@ -36,8 +37,11 @@ type entry struct {
 
 // TDC is the scheme instance. Not safe for concurrent use.
 type TDC struct {
-	capacity  int // pages
-	pages     map[uint64]*entry
+	capacity int // pages
+	// pages is a flat open-addressed residency table (page → entry);
+	// sized for capacity up front, it never grows or allocates once the
+	// cache is full — victims' entries are recycled for the newcomers.
+	pages     util.Flat64[*entry]
 	fifo      []uint64 // ring buffer of resident pages in insertion order
 	head      int
 	count     uint64
@@ -59,7 +63,7 @@ func New(cfg Config) *TDC {
 	}
 	return &TDC{
 		capacity: cap,
-		pages:    make(map[uint64]*entry, cap),
+		pages:    *util.NewFlat64[*entry](cap),
 		fifo:     make([]uint64, 0, cap),
 	}
 }
@@ -72,7 +76,7 @@ func (t *TDC) Access(req mem.Request) mc.Result {
 	t.ops = t.ops[:0]
 	addr := mem.LineAddr(req.Addr)
 	page := mem.PageNum(addr)
-	e := t.pages[page]
+	e, _ := t.pages.Get(page)
 	li := mem.LineInPage(addr)
 
 	if req.Eviction {
@@ -107,7 +111,7 @@ func (t *TDC) insert(page uint64, demand mem.Addr) {
 	var e *entry
 	if len(t.fifo) >= t.capacity {
 		victim := t.fifo[t.head]
-		ve := t.pages[victim]
+		ve, _ := t.pages.Get(victim)
 		t.footprint.Record(ve.touched.Count())
 		if n := ve.dirty.Count(); n > 0 {
 			va := mem.PageBase(victim)
@@ -116,7 +120,7 @@ func (t *TDC) insert(page uint64, demand mem.Addr) {
 				mem.Op{Target: mem.OffPackage, Addr: va, Bytes: n * mem.LineBytes, Write: true, Class: mem.ClassReplacement, Stage: 1},
 			)
 		}
-		delete(t.pages, victim)
+		t.pages.Delete(victim)
 		t.fifo[t.head] = page
 		t.head = (t.head + 1) % t.capacity
 		// Recycle the victim's entry for the incoming page: once at
@@ -135,7 +139,7 @@ func (t *TDC) insert(page uint64, demand mem.Addr) {
 	t.fills++
 	*e = entry{fifoPos: t.count}
 	e.touched.Set(mem.LineInPage(demand))
-	t.pages[page] = e
+	t.pages.Put(page, e)
 }
 
 // FillStats implements mc.Scheme.
@@ -144,4 +148,4 @@ func (t *TDC) FillStats(s *stats.Sim) {
 }
 
 // Resident returns the number of cached pages (diagnostic, tests).
-func (t *TDC) Resident() int { return len(t.pages) }
+func (t *TDC) Resident() int { return t.pages.Len() }

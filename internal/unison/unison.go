@@ -14,6 +14,7 @@ package unison
 
 import (
 	"fmt"
+	"math/bits"
 
 	"banshee/internal/mc"
 	"banshee/internal/mem"
@@ -40,6 +41,7 @@ type way struct {
 type Unison struct {
 	sets      [][]way
 	mask      uint64
+	tagShift  uint // precomputed popcount(mask): the tag shift
 	tick      uint64
 	footprint mc.FootprintTracker
 
@@ -62,7 +64,11 @@ func New(cfg Config) *Unison {
 	if nsets <= 0 || nsets&(nsets-1) != 0 {
 		panic(fmt.Sprintf("unison: capacity %d with %d ways gives non-power-of-two set count %d", cfg.CapacityBytes, cfg.Ways, nsets))
 	}
-	u := &Unison{sets: make([][]way, nsets), mask: uint64(nsets - 1)}
+	u := &Unison{
+		sets:     make([][]way, nsets),
+		mask:     uint64(nsets - 1),
+		tagShift: uint(bits.OnesCount64(uint64(nsets - 1))),
+	}
 	for i := range u.sets {
 		u.sets[i] = make([]way, cfg.Ways)
 	}
@@ -74,21 +80,13 @@ func (u *Unison) Name() string { return "Unison" }
 
 func (u *Unison) lookup(page uint64) (set []way, idx int, tag uint64) {
 	set = u.sets[page&u.mask]
-	tag = page >> uint(popcount(u.mask))
+	tag = page >> u.tagShift
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			return set, i, tag
 		}
 	}
 	return set, -1, tag
-}
-
-func popcount(x uint64) int {
-	n := 0
-	for ; x != 0; x &= x - 1 {
-		n++
-	}
-	return n
 }
 
 // Access implements mc.Scheme.
@@ -174,7 +172,7 @@ func (u *Unison) replace(set []way, tag uint64, demand mem.Addr) {
 // the set implied by another address in the same set.
 func (u *Unison) wayAddr(sameSet mem.Addr, tag uint64) mem.Addr {
 	set := mem.PageNum(sameSet) & u.mask
-	return mem.PageBase(tag<<uint(popcount(u.mask)) | set)
+	return mem.PageBase(tag<<u.tagShift | set)
 }
 
 // eviction handles an LLC dirty write-back: tag probe, then the data

@@ -1,0 +1,202 @@
+package util
+
+import "math/bits"
+
+// Flat64 is an open-addressed hash table from uint64 keys to V values,
+// the data-oriented replacement for `map[uint64]V` on the simulator's
+// hot paths (page table, TLB index, scheme residency tables). Keys and
+// values live in flat parallel arrays probed linearly, so a lookup
+// touches one or two contiguous cache lines instead of chasing the
+// runtime map's bucket pointers, and the structure adds zero GC scan
+// work when V contains no pointers.
+//
+// Properties the simulator relies on:
+//
+//   - Deletion uses backward-shift (no tombstones), so probe chains stay
+//     short regardless of churn and lookup cost never degrades.
+//   - Range iterates in slot (probe) order: deterministic for a given
+//     history of operations, but NOT insertion order and not stable
+//     across growth — callers needing a canonical order must sort.
+//   - Pointers returned by Ptr are invalidated by the next Put, Ptr, or
+//     Delete (growth or backward-shift may move the slot).
+//
+// The zero value is ready to use. Not safe for concurrent use.
+type Flat64[V any] struct {
+	keys []uint64
+	vals []V
+	used []bool
+	n    int
+	mask uint64
+	// shift is 64 - log2(len(keys)), for the Fibonacci multiplicative
+	// hash. Power-of-two capacities make home() a multiply and a shift.
+	shift uint
+}
+
+// flatMinCap is the smallest allocated capacity (power of two).
+const flatMinCap = 8
+
+// NewFlat64 returns a map pre-sized to hold hint entries without
+// growing. A zero or negative hint defers allocation to the first Put.
+func NewFlat64[V any](hint int) *Flat64[V] {
+	m := &Flat64[V]{}
+	if hint > 0 {
+		m.init(capFor(hint))
+	}
+	return m
+}
+
+// capFor returns the power-of-two capacity that keeps n entries under
+// the 3/4 load-factor bound.
+func capFor(n int) int {
+	c := flatMinCap
+	for c*3/4 < n {
+		c <<= 1
+	}
+	return c
+}
+
+func (m *Flat64[V]) init(capacity int) {
+	m.keys = make([]uint64, capacity)
+	m.vals = make([]V, capacity)
+	m.used = make([]bool, capacity)
+	m.mask = uint64(capacity - 1)
+	m.shift = uint(64 - bits.TrailingZeros64(uint64(capacity)))
+}
+
+// home returns k's preferred slot.
+func (m *Flat64[V]) home(k uint64) uint64 {
+	return (k * 0x9E3779B97F4A7C15) >> m.shift
+}
+
+// Len returns the number of stored entries.
+func (m *Flat64[V]) Len() int { return m.n }
+
+// Get returns the value stored under k.
+func (m *Flat64[V]) Get(k uint64) (V, bool) {
+	if m.n == 0 {
+		var zero V
+		return zero, false
+	}
+	for i := m.home(k); ; i = (i + 1) & m.mask {
+		if !m.used[i] {
+			var zero V
+			return zero, false
+		}
+		if m.keys[i] == k {
+			return m.vals[i], true
+		}
+	}
+}
+
+// Put stores v under k, replacing any existing value.
+func (m *Flat64[V]) Put(k uint64, v V) {
+	*m.slot(k) = v
+}
+
+// Ptr returns a pointer to k's value, inserting the zero value first if
+// k is absent. The pointer is valid only until the next Put, Ptr, or
+// Delete — use it for read-modify-write in place (counters), not for
+// storage.
+func (m *Flat64[V]) Ptr(k uint64) *V {
+	return m.slot(k)
+}
+
+// slot returns the value slot for k, inserting (and growing) as
+// needed. The existing-key probe runs first so read-modify-write of a
+// present key (the counter pattern) never triggers growth — only an
+// actual insert at the load-factor bound does.
+func (m *Flat64[V]) slot(k uint64) *V {
+	if m.keys == nil {
+		m.init(flatMinCap)
+	}
+	for i := m.home(k); ; i = (i + 1) & m.mask {
+		if !m.used[i] {
+			if (m.n+1)*4 > len(m.keys)*3 {
+				m.grow()
+				return m.slot(k) // re-probe in the grown table
+			}
+			m.used[i] = true
+			m.keys[i] = k
+			var zero V
+			m.vals[i] = zero
+			m.n++
+			return &m.vals[i]
+		}
+		if m.keys[i] == k {
+			return &m.vals[i]
+		}
+	}
+}
+
+func (m *Flat64[V]) grow() {
+	keys, vals, used := m.keys, m.vals, m.used
+	m.init(len(keys) * 2)
+	m.n = 0
+	for i, u := range used {
+		if u {
+			m.Put(keys[i], vals[i])
+		}
+	}
+}
+
+// Delete removes k, reporting whether it was present. Removal
+// backward-shifts the following probe chain, so no tombstones
+// accumulate.
+func (m *Flat64[V]) Delete(k uint64) bool {
+	if m.n == 0 {
+		return false
+	}
+	i := m.home(k)
+	for {
+		if !m.used[i] {
+			return false
+		}
+		if m.keys[i] == k {
+			break
+		}
+		i = (i + 1) & m.mask
+	}
+	// Backward-shift: pull each chain follower into the hole unless its
+	// home lies cyclically after the hole (moving it would break its own
+	// probe chain). The follower at j may move iff its home h is outside
+	// the cyclic interval (i, j], i.e. its probe distance to j is at
+	// least the hole's: (j-h) mod cap ≥ (j-i) mod cap.
+	j := i
+	for {
+		j = (j + 1) & m.mask
+		if !m.used[j] {
+			break
+		}
+		if (j-m.home(m.keys[j]))&m.mask < (j-i)&m.mask {
+			continue
+		}
+		m.keys[i] = m.keys[j]
+		m.vals[i] = m.vals[j]
+		i = j
+	}
+	m.used[i] = false
+	var zero V
+	m.vals[i] = zero // release pointers for GC
+	m.n--
+	return true
+}
+
+// Range calls f for every entry in slot order until f returns false.
+// Mutating the map during Range is not supported.
+func (m *Flat64[V]) Range(f func(k uint64, v V) bool) {
+	for i, u := range m.used {
+		if u && !f(m.keys[i], m.vals[i]) {
+			return
+		}
+	}
+}
+
+// Clear removes every entry, keeping the allocated capacity.
+func (m *Flat64[V]) Clear() {
+	clear(m.used)
+	var zero V
+	for i := range m.vals {
+		m.vals[i] = zero
+	}
+	m.n = 0
+}

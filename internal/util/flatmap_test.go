@@ -1,0 +1,167 @@
+package util
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestFlat64Oracle drives a Flat64 and a builtin map through the same
+// randomized operation stream — inserts, overwrites, in-place counter
+// updates, deletes (present and absent), clears — and checks full
+// agreement after every batch. Key distributions are chosen to force
+// probe-chain collisions (dense small integers, shifted page numbers,
+// random 64-bit), since backward-shift deletion bugs only show up when
+// chains overlap.
+func TestFlat64Oracle(t *testing.T) {
+	keyGens := map[string]func(r *rand.Rand) uint64{
+		"dense":  func(r *rand.Rand) uint64 { return uint64(r.Intn(200)) },
+		"pages":  func(r *rand.Rand) uint64 { return uint64(r.Intn(1000)) << 12 },
+		"sparse": func(r *rand.Rand) uint64 { return r.Uint64() },
+	}
+	for name, gen := range keyGens {
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(len(name))))
+			m := NewFlat64[uint64](0)
+			oracle := map[uint64]uint64{}
+			for step := 0; step < 20_000; step++ {
+				k := gen(r)
+				switch op := r.Intn(10); {
+				case op < 4: // insert/overwrite
+					v := r.Uint64()
+					m.Put(k, v)
+					oracle[k] = v
+				case op < 6: // read-modify-write through Ptr
+					*m.Ptr(k)++
+					oracle[k]++
+				case op < 9: // delete
+					got := m.Delete(k)
+					_, want := oracle[k]
+					if got != want {
+						t.Fatalf("step %d: Delete(%#x) = %v, oracle %v", step, k, got, want)
+					}
+					delete(oracle, k)
+				default: // occasional full clear (1 in ~3000)
+					if r.Intn(300) == 0 {
+						m.Clear()
+						clear(oracle)
+					}
+				}
+				if step%500 == 0 {
+					checkAgainstOracle(t, m, oracle)
+				}
+			}
+			checkAgainstOracle(t, m, oracle)
+		})
+	}
+}
+
+func checkAgainstOracle(t *testing.T, m *Flat64[uint64], oracle map[uint64]uint64) {
+	t.Helper()
+	if m.Len() != len(oracle) {
+		t.Fatalf("Len = %d, oracle %d", m.Len(), len(oracle))
+	}
+	for k, want := range oracle {
+		if got, ok := m.Get(k); !ok || got != want {
+			t.Fatalf("Get(%#x) = %d,%v, oracle %d", k, got, ok, want)
+		}
+	}
+	// Range must visit exactly the oracle's entries, each once.
+	seen := map[uint64]uint64{}
+	m.Range(func(k, v uint64) bool {
+		if _, dup := seen[k]; dup {
+			t.Fatalf("Range visited %#x twice", k)
+		}
+		seen[k] = v
+		return true
+	})
+	if len(seen) != len(oracle) {
+		t.Fatalf("Range visited %d entries, oracle %d", len(seen), len(oracle))
+	}
+	for k, v := range seen {
+		if oracle[k] != v {
+			t.Fatalf("Range saw %#x=%d, oracle %d", k, v, oracle[k])
+		}
+	}
+}
+
+// TestFlat64GetAbsent covers the empty and never-allocated cases.
+func TestFlat64GetAbsent(t *testing.T) {
+	var m Flat64[int]
+	if _, ok := m.Get(42); ok {
+		t.Error("Get on zero-value map reported a hit")
+	}
+	if m.Delete(42) {
+		t.Error("Delete on zero-value map reported a removal")
+	}
+	m.Put(1, 10)
+	if _, ok := m.Get(2); ok {
+		t.Error("Get(2) hit after only Put(1)")
+	}
+}
+
+// TestFlat64RangeEarlyStop checks Range's stop contract.
+func TestFlat64RangeEarlyStop(t *testing.T) {
+	m := NewFlat64[int](16)
+	for i := uint64(0); i < 10; i++ {
+		m.Put(i, int(i))
+	}
+	calls := 0
+	m.Range(func(uint64, int) bool { calls++; return false })
+	if calls != 1 {
+		t.Errorf("Range after stop: %d calls, want 1", calls)
+	}
+}
+
+// TestFlat64Determinism: two maps fed the same operation sequence must
+// iterate identically — the property the simulator's deterministic
+// replay relies on when Range feeds op generation.
+func TestFlat64Determinism(t *testing.T) {
+	build := func() []uint64 {
+		m := NewFlat64[int](0)
+		r := rand.New(rand.NewSource(99))
+		for i := 0; i < 5000; i++ {
+			k := uint64(r.Intn(2000))
+			if r.Intn(3) == 0 {
+				m.Delete(k)
+			} else {
+				m.Put(k, i)
+			}
+		}
+		var keys []uint64
+		m.Range(func(k uint64, _ int) bool { keys = append(keys, k); return true })
+		return keys
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("iteration order diverged at %d: %#x vs %#x", i, a[i], b[i])
+		}
+	}
+	// And sorted contents must match a plain set-build.
+	sorted := append([]uint64(nil), a...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			t.Fatalf("duplicate key %#x", sorted[i])
+		}
+	}
+}
+
+// TestFlat64GrowthPointers documents the Ptr invalidation contract:
+// a value written through a stale pointer after growth must not be
+// visible — i.e. the test asserts values survive growth by re-reading.
+func TestFlat64GrowthPointers(t *testing.T) {
+	m := NewFlat64[int](0)
+	for i := uint64(0); i < 1000; i++ {
+		m.Put(i, int(i)*3)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if v, ok := m.Get(i); !ok || v != int(i)*3 {
+			t.Fatalf("after growth: Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+}

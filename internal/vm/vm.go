@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"banshee/internal/mem"
+	"banshee/internal/util"
 )
 
 // PTE is a page-table entry with Banshee's 3-bit extension.
@@ -30,6 +31,12 @@ type PTE struct {
 	// describes.
 	Cached bool
 	Way    uint8
+
+	// next threads the OS reverse map: all PTEs mapping the same frame
+	// form an intrusive singly-linked list in insertion order (head and
+	// tail live in the page table's reverse index). TLB snapshots copy
+	// the field but never follow it.
+	next *PTE
 }
 
 // Mapping converts the PTE extension to the request-carried form.
@@ -40,40 +47,66 @@ func (p *PTE) Mapping() mem.Mapping {
 // PageTable maps virtual pages to frames and maintains the OS reverse
 // map (frame → all PTEs), which Banshee's PTE-update routine uses to
 // find every alias of a physical page (§3.4).
+//
+// Both directions are open-addressed flat tables (util.Flat64): the
+// translate path probes contiguous key arrays instead of chasing the
+// runtime map's buckets, and the reverse map threads aliases through
+// the PTEs themselves (PTE.next) so a flush's SetCached walk touches no
+// auxiliary slices. PTEs are individually allocated, so *PTE handles
+// stay stable as the tables grow.
 type PageTable struct {
-	entries map[uint64]*PTE   // vpage → PTE
-	reverse map[uint64][]*PTE // frame → PTEs mapping it
-	large   map[uint64]bool   // vpages (2 MB-aligned) backed by large pages
+	entries util.Flat64[*PTE]     // vpage → PTE
+	reverse util.Flat64[revList]  // frame → intrusive PTE list
+	large   util.Flat64[struct{}] // 2 MB-aligned vpages backed by large pages
+
+	revScratch []*PTE // reused by ReverseLookup
 
 	// DefaultLarge makes every translation allocate 2 MB pages (the
 	// §5.4.1 "all data resides on large pages" experiment).
 	DefaultLarge bool
 }
 
+// revList is one frame's reverse-map bucket: the ends of the intrusive
+// insertion-order list threaded through PTE.next.
+type revList struct {
+	head, tail *PTE
+}
+
 // NewPageTable returns an empty page table.
 func NewPageTable() *PageTable {
-	return &PageTable{
-		entries: make(map[uint64]*PTE),
-		reverse: make(map[uint64][]*PTE),
-		large:   make(map[uint64]bool),
-	}
+	return &PageTable{}
 }
 
 // DeclareLargeRegion marks the 2 MB-aligned virtual region containing
 // vaddr as backed by a large page; subsequent translations of any page
 // in the region return a single 2 MB PTE.
 func (pt *PageTable) DeclareLargeRegion(vaddr mem.Addr) {
-	pt.large[mem.LargePageNum(vaddr)] = true
+	pt.large.Put(mem.LargePageNum(vaddr), struct{}{})
 }
 
-// IsLarge reports whether vaddr falls in a large-page region, declaring
-// the region first when DefaultLarge is set.
+// IsLarge reports whether vaddr falls in a large-page region. It sits
+// on the TLB lookup path, so the common all-4KB case exits on the
+// region count alone without hashing.
 func (pt *PageTable) IsLarge(vaddr mem.Addr) bool {
 	if pt.DefaultLarge {
-		pt.large[mem.LargePageNum(vaddr)] = true
 		return true
 	}
-	return pt.large[mem.LargePageNum(vaddr)]
+	if pt.large.Len() == 0 {
+		return false
+	}
+	_, ok := pt.large.Get(mem.LargePageNum(vaddr))
+	return ok
+}
+
+// link appends e to its frame's reverse-map list.
+func (pt *PageTable) link(e *PTE) {
+	l := pt.reverse.Ptr(e.Frame)
+	if l.tail == nil {
+		l.head, l.tail = e, e
+		return
+	}
+	l.tail.next = e
+	l.tail = e
 }
 
 // Translate returns the PTE for vaddr, allocating a frame on first
@@ -83,21 +116,21 @@ func (pt *PageTable) Translate(vaddr mem.Addr) *PTE {
 	if pt.IsLarge(vaddr) {
 		lp := mem.LargePageNum(vaddr)
 		key := lp * mem.PagesPerLargePage // canonical 4 KB-unit index
-		if e, ok := pt.entries[key]; ok {
+		if e, ok := pt.entries.Get(key); ok {
 			return e
 		}
 		e := &PTE{VPage: key, Frame: key, Size: mem.Page2M}
-		pt.entries[key] = e
-		pt.reverse[e.Frame] = append(pt.reverse[e.Frame], e)
+		pt.entries.Put(key, e)
+		pt.link(e)
 		return e
 	}
 	vp := mem.PageNum(vaddr)
-	if e, ok := pt.entries[vp]; ok {
+	if e, ok := pt.entries.Get(vp); ok {
 		return e
 	}
 	e := &PTE{VPage: vp, Frame: vp, Size: mem.Page4K}
-	pt.entries[vp] = e
-	pt.reverse[e.Frame] = append(pt.reverse[e.Frame], e)
+	pt.entries.Put(vp, e)
+	pt.link(e)
 	return e
 }
 
@@ -105,59 +138,74 @@ func (pt *PageTable) Translate(vaddr mem.Addr) *PTE {
 // modelling shared memory. It returns the new PTE. The frame must have
 // been allocated already.
 func (pt *PageTable) Alias(vpage, frame uint64) (*PTE, error) {
-	if _, ok := pt.entries[vpage]; ok {
+	if _, ok := pt.entries.Get(vpage); ok {
 		return nil, fmt.Errorf("vm: vpage %#x already mapped", vpage)
 	}
-	if len(pt.reverse[frame]) == 0 {
+	l, ok := pt.reverse.Get(frame)
+	if !ok || l.head == nil {
 		return nil, fmt.Errorf("vm: frame %#x not allocated", frame)
 	}
-	src := pt.reverse[frame][0]
+	src := l.head
 	e := &PTE{VPage: vpage, Frame: frame, Size: src.Size, Cached: src.Cached, Way: src.Way}
-	pt.entries[vpage] = e
-	pt.reverse[frame] = append(pt.reverse[frame], e)
+	pt.entries.Put(vpage, e)
+	pt.link(e)
 	return e, nil
 }
 
-// ReverseLookup returns all PTEs mapping the given frame — the OS
-// reverse-mapping mechanism of §3.4.
+// ReverseLookup returns all PTEs mapping the given frame, in mapping
+// order — the OS reverse-mapping mechanism of §3.4. The returned slice
+// is scratch reused by the next call; copy it to keep it.
 func (pt *PageTable) ReverseLookup(frame uint64) []*PTE {
-	return pt.reverse[frame]
+	out := pt.revScratch[:0]
+	l, _ := pt.reverse.Get(frame)
+	for e := l.head; e != nil; e = e.next {
+		out = append(out, e)
+	}
+	pt.revScratch = out
+	return out
 }
 
 // SetCached updates the DRAM-cache extension bits of every PTE mapping
 // frame, returning how many PTEs were touched. This is the core of the
 // software PTE-update routine triggered by a tag-buffer flush.
 func (pt *PageTable) SetCached(frame uint64, cached bool, way uint8) int {
-	ptes := pt.reverse[frame]
-	for _, e := range ptes {
+	l, _ := pt.reverse.Get(frame)
+	n := 0
+	for e := l.head; e != nil; e = e.next {
 		e.Cached = cached
 		e.Way = way
+		n++
 	}
-	return len(ptes)
+	return n
 }
 
 // Len returns the number of PTEs (diagnostic).
-func (pt *PageTable) Len() int { return len(pt.entries) }
-
-// tlbEntry is a cached PTE snapshot: the mapping bits are copies and can
-// go stale relative to the page table — exactly the staleness Banshee's
-// tag buffer tolerates.
-type tlbEntry struct {
-	vpage uint64
-	pte   PTE // snapshot, not pointer: models stale TLB contents
-	stamp uint64
-	valid bool
-}
+func (pt *PageTable) Len() int { return pt.entries.Len() }
 
 // TLB is one core's translation lookaside buffer (fully associative,
 // LRU). Sized generously by default; TLB miss *timing* is modeled by the
 // simulator via WalkCycles. An index map makes the (hot) hit path O(1)
 // instead of a scan over all entries; the LRU victim scan only runs on
-// misses, which the modeled hit rate makes rare.
+// misses.
+//
+// Entry state is struct-of-arrays: the PTE snapshots (which model stale
+// TLB contents — copies, not pointers into the page table) and the
+// vpage keys live in parallel slices, and recency is an intrusive
+// doubly-linked MRU list (next/prev slot indices) instead of the old
+// per-entry stamps — the same total order, so the evicted entry is
+// always the exact LRU one, but the miss path pops the list tail in
+// O(1) instead of scanning every entry for the minimal stamp. Entries
+// are only invalidated wholesale (Flush), so the valid entries always
+// form the prefix [0, filled) and no per-entry valid bit exists: while
+// the TLB is not yet full the victim is simply the fill frontier,
+// exactly the first-invalid slot the old scan found.
 type TLB struct {
-	entries []tlbEntry
-	index   map[uint64]int // vpage key → slot, mirrors valid entries
-	tick    uint64
+	vpages     []uint64
+	ptes       []PTE // snapshots, not pointers: model stale TLB contents
+	next, prev []int32
+	head, tail int32 // MRU and LRU ends of the recency list
+	filled     int
+	index      util.Flat64[int32] // vpage key → slot, mirrors entries [0, filled)
 
 	Hits, Misses uint64
 	Shootdowns   uint64
@@ -168,7 +216,47 @@ func NewTLB(n int) *TLB {
 	if n <= 0 {
 		panic(fmt.Sprintf("vm: TLB size must be positive, got %d", n))
 	}
-	return &TLB{entries: make([]tlbEntry, n), index: make(map[uint64]int, n)}
+	return &TLB{
+		vpages: make([]uint64, n),
+		ptes:   make([]PTE, n),
+		next:   make([]int32, n),
+		prev:   make([]int32, n),
+		head:   -1,
+		tail:   -1,
+		index:  *util.NewFlat64[int32](n),
+	}
+}
+
+// touch moves slot i to the MRU end of the recency list.
+func (t *TLB) touch(i int32) {
+	if t.head == i {
+		return
+	}
+	// Unlink (i is not head, so it has a predecessor).
+	p, n := t.prev[i], t.next[i]
+	t.next[p] = n
+	if n >= 0 {
+		t.prev[n] = p
+	} else {
+		t.tail = p
+	}
+	// Push front.
+	t.prev[i] = -1
+	t.next[i] = t.head
+	t.prev[t.head] = i
+	t.head = i
+}
+
+// pushFront links a fresh slot at the MRU end.
+func (t *TLB) pushFront(i int32) {
+	t.prev[i] = -1
+	t.next[i] = t.head
+	if t.head >= 0 {
+		t.prev[t.head] = i
+	} else {
+		t.tail = i
+	}
+	t.head = i
 }
 
 func (t *TLB) keyFor(vaddr mem.Addr, pt *PageTable) uint64 {
@@ -182,52 +270,40 @@ func (t *TLB) keyFor(vaddr mem.Addr, pt *PageTable) uint64 {
 // on a miss. It returns the (possibly stale) PTE snapshot and whether
 // the translation hit in the TLB.
 func (t *TLB) Lookup(vaddr mem.Addr, pt *PageTable) (PTE, bool) {
-	t.tick++
 	key := t.keyFor(vaddr, pt)
-	if i, ok := t.index[key]; ok {
-		t.entries[i].stamp = t.tick
+	if i, ok := t.index.Get(key); ok {
+		t.touch(i)
 		t.Hits++
-		return t.entries[i].pte, true
+		return t.ptes[i], true
 	}
 	t.Misses++
 	pte := *pt.Translate(vaddr) // snapshot the current PTE content
-	victim := 0
-	for i := range t.entries {
-		if !t.entries[i].valid {
-			victim = i
-			break
-		}
-		if t.entries[i].stamp < t.entries[victim].stamp {
-			victim = i
-		}
+	var victim int32
+	if t.filled < len(t.vpages) {
+		victim = int32(t.filled) // the first free slot, as the old scan found
+		t.filled++
+		t.pushFront(victim)
+	} else {
+		victim = t.tail // exact LRU, as the old stamp scan found
+		t.index.Delete(t.vpages[victim])
+		t.touch(victim)
 	}
-	if t.entries[victim].valid {
-		delete(t.index, t.entries[victim].vpage)
-	}
-	t.entries[victim] = tlbEntry{vpage: key, pte: pte, stamp: t.tick, valid: true}
-	t.index[key] = victim
+	t.vpages[victim] = key
+	t.ptes[victim] = pte
+	t.index.Put(key, victim)
 	return pte, false
 }
 
 // Flush invalidates every entry (a TLB shootdown's effect on this core).
 func (t *TLB) Flush() {
 	t.Shootdowns++
-	for i := range t.entries {
-		t.entries[i].valid = false
-	}
-	clear(t.index)
+	t.filled = 0
+	t.head, t.tail = -1, -1
+	t.index.Clear()
 }
 
 // Occupancy returns the number of valid entries (diagnostic).
-func (t *TLB) Occupancy() int {
-	n := 0
-	for i := range t.entries {
-		if t.entries[i].valid {
-			n++
-		}
-	}
-	return n
-}
+func (t *TLB) Occupancy() int { return t.filled }
 
 // CostModel holds the software-cost parameters of §5.1 (Table 3),
 // already converted to CPU cycles by the caller.
