@@ -44,8 +44,9 @@
 // Failures carry typed sentinels matchable with errors.Is / errors.As
 // across every layer: ErrUnknownScheme, ErrUnknownWorkload,
 // ErrTraceCorrupt (a damaged .btrc recording), ErrTraceWrapped (a
-// recording too short for the run consuming it), and *ConfigError,
-// which names the rejected configuration field.
+// recording too short for the run consuming it), *ConfigError,
+// which names the rejected configuration field, and *JobError, which
+// carries a failed batch job's coordinate, attempt count, and cause.
 //
 // # Batch runs
 //
@@ -59,6 +60,15 @@
 // sweeps re-simulate while untouched jobs are served from disk.
 // Cancelling the context drains the pool without writing partial
 // results, so the JSONL file is always a clean resumable prefix.
+//
+// Jobs run supervised: a panicking scheme or workload fails that job
+// — never the process — as a typed *JobError, transient faults retry
+// with exponential backoff and deterministic jitter
+// (BatchOptions.Retry), each attempt can carry a deadline
+// (BatchOptions.JobTimeout), and with BatchOptions.KeepGoing a sweep
+// outlives permanently failed jobs: they stream to a sibling
+// *.failed.jsonl ledger, surface through BatchResult.Failed, and are
+// retried automatically when the sweep is resumed.
 //
 //	m := banshee.Matrix{Name: "sweep", Base: banshee.DefaultConfig(),
 //		Workloads: banshee.Workloads(), Schemes: banshee.Schemes()}
@@ -96,6 +106,8 @@ package banshee
 import (
 	"context"
 	"io"
+	"strings"
+	"time"
 
 	"banshee/internal/errs"
 	"banshee/internal/mc"
@@ -187,6 +199,12 @@ var (
 // ConfigError reports an invalid configuration field; retrieve it with
 // errors.As to learn which field was rejected and why.
 type ConfigError = errs.ConfigError
+
+// JobError reports one batch job's permanent failure after supervision
+// gave up on it: sweep coordinate, content ID, attempt count, whether
+// it panicked, and the underlying cause. Retrieve with errors.As from
+// a fail-fast RunBatch error, or inspect BatchResult.Failed records.
+type JobError = errs.JobError
 
 // Speedup returns how much faster a ran than base (the paper's Fig. 4
 // normalization when base is the NoCache run).
@@ -309,6 +327,12 @@ type (
 	BatchRecord = runner.Record
 )
 
+// RetryPolicy bounds how a supervised batch job is retried:
+// MaxAttempts total attempts with exponential backoff from BaseDelay
+// capped at MaxDelay, jittered deterministically per job. The zero
+// value means a single attempt.
+type RetryPolicy = runner.RetryPolicy
+
 // BatchOptions controls RunBatch.
 type BatchOptions struct {
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
@@ -319,17 +343,39 @@ type BatchOptions struct {
 	// Out is a JSONL file path results stream to ("" = in-memory only).
 	Out string
 	// Resume skips jobs whose results are already in Out; the finished
-	// file is byte-identical to an uninterrupted run's.
+	// file is byte-identical to an uninterrupted run's. Jobs that
+	// failed in a previous run are absent from Out and so are retried.
 	Resume bool
+	// Retry bounds per-job retries (zero value = one attempt). Every
+	// job always runs under panic isolation: a panicking scheme or
+	// workload fails that job, never the process.
+	Retry RetryPolicy
+	// JobTimeout, when positive, deadlines each attempt; a blown
+	// deadline is a retryable failure wrapping context.DeadlineExceeded.
+	JobTimeout time.Duration
+	// KeepGoing completes the sweep past permanently failed jobs:
+	// failures stream to the FailedOut ledger and are reported by
+	// BatchResult.Failed instead of aborting the run.
+	KeepGoing bool
+	// FailedOut overrides the failure-ledger path. Empty derives it
+	// from Out ("sweep.jsonl" → "sweep.failed.jsonl"); only used with
+	// KeepGoing, and the file exists only when failures occurred.
+	FailedOut string
 }
 
 // RunBatch executes a matrix of simulations on the batch engine with
-// checkpoint/resume. Cancelling ctx drains the worker pool without
-// writing partial results — the JSONL file keeps a clean resumable
-// prefix — and returns an error matching ctx.Err(). See the package
-// documentation for the sweep flow.
+// checkpoint/resume and per-job supervision. Cancelling ctx drains the
+// worker pool without writing partial results — the JSONL file keeps a
+// clean resumable prefix — and returns an error matching ctx.Err().
+// Job failures are retried per o.Retry; a permanent failure aborts the
+// run with a *JobError unless o.KeepGoing, which finishes the
+// remaining jobs, streams failures to the ledger, and leaves the
+// success stream byte-identical to a run in which those jobs never
+// enumerated ahead of it. See the package documentation for the sweep
+// flow.
 func RunBatch(ctx context.Context, m Matrix, o BatchOptions) (*BatchResult, error) {
-	eng := runner.Engine{Parallelism: o.Parallelism, Progress: o.Progress}
+	eng := runner.Engine{Parallelism: o.Parallelism, Progress: o.Progress,
+		Retry: o.Retry, JobTimeout: o.JobTimeout, KeepGoing: o.KeepGoing}
 	if o.Out != "" {
 		sink, err := runner.OpenSink(o.Out, o.Resume)
 		if err != nil {
@@ -338,5 +384,22 @@ func RunBatch(ctx context.Context, m Matrix, o BatchOptions) (*BatchResult, erro
 		defer sink.Close()
 		eng.Sink = sink
 	}
+	if o.KeepGoing {
+		if path := failedOutPath(o); path != "" {
+			eng.Ledger = runner.NewLedger(path)
+			defer eng.Ledger.Close()
+		}
+	}
 	return eng.Run(ctx, m)
+}
+
+// failedOutPath derives the failure-ledger path from the options.
+func failedOutPath(o BatchOptions) string {
+	if o.FailedOut != "" {
+		return o.FailedOut
+	}
+	if o.Out == "" {
+		return ""
+	}
+	return strings.TrimSuffix(o.Out, ".jsonl") + ".failed.jsonl"
 }

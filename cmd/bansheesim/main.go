@@ -5,7 +5,10 @@
 // The run is a cancellable session: SIGINT/SIGTERM stop it at the next
 // step boundary and the statistics accumulated so far are printed
 // (marked as partial) before exiting non-zero. With -epoch N a live
-// MPKI/bandwidth sample is printed every N retired instructions.
+// MPKI/bandwidth sample is printed every N retired instructions, and
+// -timeout deadlines the whole run. Exit codes distinguish the
+// outcomes: 0 clean, 1 error, 124 deadline exceeded (partial stats
+// printed), 130 interrupted (partial stats printed).
 //
 // Usage:
 //
@@ -31,6 +34,7 @@ import (
 	"strings"
 	"syscall"
 
+	_ "banshee/internal/fault" // registers the "fault:" chaos workload kind
 	"banshee/internal/mem"
 	"banshee/internal/sim"
 	"banshee/internal/stats"
@@ -52,6 +56,7 @@ func run() int {
 		seed     = flag.Uint64("seed", 42, "simulation seed")
 		large    = flag.Bool("largepages", false, "back all data with 2 MB pages")
 		epoch    = flag.Uint64("epoch", 0, "print a live sample every N retired instructions (0 = off)")
+		timeout  = flag.Duration("timeout", 0, "wall-clock deadline for the run (0 = none); partial stats print on expiry")
 		list     = flag.Bool("list", false, "list workloads and exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile at exit to this file")
@@ -107,9 +112,16 @@ func run() int {
 
 	// An interrupt cancels the run context: the session stops at its
 	// next step boundary and returns the partial window, so a ^C still
-	// reports what was measured instead of discarding the run.
+	// reports what was measured instead of discarding the run. A
+	// -timeout deadline lands the same way but exits 124, so scripts
+	// can tell a stuck run from an interrupted one.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	sess, err := sim.NewSession(cfg, *workload, *scheme)
 	if err != nil {
@@ -125,23 +137,26 @@ func run() int {
 	}
 
 	st, err := sess.Run(ctx)
-	partial := false
-	if err != nil {
-		if !errors.Is(err, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "bansheesim:", err)
-			return 1
-		}
+	code := 0
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		p := sess.Progress()
+		fmt.Fprintf(os.Stderr, "bansheesim: deadline (%s) exceeded at %d of %d instructions (%.0f%%); stats below are partial\n",
+			*timeout, p.Retired, p.Total, 100*p.Fraction())
+		code = 124 // conventional timeout(1) exit
+	case errors.Is(err, context.Canceled):
 		p := sess.Progress()
 		fmt.Fprintf(os.Stderr, "bansheesim: interrupted at %d of %d instructions (%.0f%%); stats below are partial\n",
 			p.Retired, p.Total, 100*p.Fraction())
-		partial = true
+		code = 130 // conventional 128+SIGINT
+	default:
+		fmt.Fprintln(os.Stderr, "bansheesim:", err)
+		return 1
 	}
 
-	report(st, partial)
-	if partial {
-		return 130 // conventional 128+SIGINT
-	}
-	return 0
+	report(st, code != 0)
+	return code
 }
 
 func report(st stats.Sim, partial bool) {

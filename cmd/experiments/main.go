@@ -14,12 +14,24 @@
 // each matrix's JSONL file in -out is a clean prefix that a re-run with
 // -resume completes byte-identically.
 //
+// Jobs run supervised: -retries/-job-timeout bound each job, and
+// -keep-going completes a suite past permanently failed jobs, streaming
+// them to one "<matrix>.failed.jsonl" ledger per matrix in -out and
+// rendering the affected figure cells as zero-valued holes. Failed jobs
+// are absent from the success stream, so a -resume re-run retries them.
+// The "fault:<spec>:<inner>" workload names inject deterministic
+// source-level chaos for testing that machinery.
+//
+// Exit codes: 0 clean, 1 on error or when any job permanently failed
+// (the ledger paths are printed), 130 when interrupted.
+//
 // Usage:
 //
 //	experiments -run fig4
 //	experiments -run all -instr 2000000
 //	experiments -run fig5 -workloads pagerank,lbm,mcf
 //	experiments -run all -out results/ -resume -v
+//	experiments -run table6 -workloads "pagerank,fault:panic=1:lbm" -keep-going -retries 3 -out results/
 package main
 
 import (
@@ -31,38 +43,64 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"banshee/internal/exp"
+	_ "banshee/internal/fault" // registers the "fault:" chaos workload kind
+	"banshee/internal/runner"
 )
 
 func main() {
 	var (
-		run       = flag.String("run", "all", "experiment: table1|fig4|fig5|fig6|fig7|fig8|fig9|table5|table6|largepage|batman|all")
-		instr     = flag.Uint64("instr", 0, "instructions per core (0 = default)")
-		seed      = flag.Uint64("seed", 42, "base seed")
-		workloads = flag.String("workloads", "", "comma-separated workload subset (default: the paper's 16)")
-		verbose   = flag.Bool("v", false, "print per-run progress")
-		intensity = flag.Float64("intensity", 0, "memory-intensity multiplier (0 = default)")
-		out       = flag.String("out", "", "directory for streaming JSONL results (one file per matrix)")
-		resume    = flag.Bool("resume", false, "skip jobs whose results are already in -out")
+		run        = flag.String("run", "all", "experiment: table1|fig4|fig5|fig6|fig7|fig8|fig9|table5|table6|largepage|batman|all")
+		instr      = flag.Uint64("instr", 0, "instructions per core (0 = default)")
+		seed       = flag.Uint64("seed", 42, "base seed")
+		workloads  = flag.String("workloads", "", "comma-separated workload subset (default: the paper's 16)")
+		verbose    = flag.Bool("v", false, "print per-run progress")
+		intensity  = flag.Float64("intensity", 0, "memory-intensity multiplier (0 = default)")
+		out        = flag.String("out", "", "directory for streaming JSONL results (one file per matrix)")
+		resume     = flag.Bool("resume", false, "skip jobs whose results are already in -out")
+		keepGoing  = flag.Bool("keep-going", false, "complete sweeps past failed jobs (ledger + partial figures) instead of aborting")
+		retries    = flag.Int("retries", 1, "attempts per job (retries with backoff after the first)")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-job-attempt deadline (0 = none)")
 	)
 	flag.Parse()
 
 	// An interrupt cancels every in-flight simulation through the
 	// options context; exp.run surfaces the cancellation as an
 	// exp.ErrCancelled panic which is recovered below into a clean,
-	// resumable exit instead of a stack trace.
+	// resumable exit (130) instead of a stack trace. Any other error
+	// the experiment layer surfaces exits 1 with the message alone —
+	// only non-error panics (bugs) keep their stack trace.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	o := exp.Options{Ctx: ctx, Instr: *instr, Seed: *seed, Intensity: *intensity, Out: *out, Resume: *resume}
+	o := exp.Options{Ctx: ctx, Instr: *instr, Seed: *seed, Intensity: *intensity,
+		Out: *out, Resume: *resume, KeepGoing: *keepGoing, JobTimeout: *jobTimeout,
+		Retry: runner.RetryPolicy{MaxAttempts: *retries, BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second}}
 	if *resume && *out == "" {
 		fmt.Fprintln(os.Stderr, "experiments: -resume requires -out")
 		os.Exit(1)
 	}
+
+	// Permanently failed jobs, collected across matrices so the suite
+	// can finish its figures before reporting the holes.
+	type failedMatrix struct {
+		name, ledger string
+		count        int
+	}
+	var failedMatrices []failedMatrix
+	o.OnFailures = func(matrix string, failed []runner.Record, ledger string) {
+		failedMatrices = append(failedMatrices, failedMatrix{matrix, ledger, len(failed)})
+	}
+
 	defer func() {
 		if r := recover(); r != nil {
-			if err, ok := r.(error); ok && errors.Is(err, exp.ErrCancelled) {
+			err, ok := r.(error)
+			if !ok {
+				panic(r)
+			}
+			if errors.Is(err, exp.ErrCancelled) {
 				stop()
 				if *out != "" {
 					fmt.Fprintln(os.Stderr, "experiments: interrupted; results so far are a clean prefix — re-run with -resume to complete")
@@ -71,7 +109,19 @@ func main() {
 				}
 				os.Exit(130)
 			}
-			panic(r)
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if len(failedMatrices) > 0 {
+			for _, fm := range failedMatrices {
+				if fm.ledger != "" {
+					fmt.Fprintf(os.Stderr, "experiments: %d job(s) failed in matrix %s; ledger: %s\n", fm.count, fm.name, fm.ledger)
+				} else {
+					fmt.Fprintf(os.Stderr, "experiments: %d job(s) failed in matrix %s\n", fm.count, fm.name)
+				}
+			}
+			fmt.Fprintln(os.Stderr, "experiments: affected figure cells are zero-valued holes; re-run with -resume to retry failed jobs")
+			os.Exit(1)
 		}
 	}()
 	if *verbose {

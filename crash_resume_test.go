@@ -1,0 +1,154 @@
+package banshee_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestCrashResumeByteIdentical is the crash-consistency contract,
+// proven on the real binary rather than in-process: a sweep SIGKILLed
+// mid-flight — no defers, no signal handlers, possibly mid-write —
+// leaves a checkpoint that a -resume re-run completes to bytes
+// identical to an uninterrupted run's.
+func TestCrashResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a subprocess")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "experiments")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/experiments")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// The sweep is sized so a full run takes several seconds: enough
+	// jobs that the kill below lands mid-sweep, small enough to finish
+	// the golden and resume runs quickly.
+	args := []string{"-run", "fig4", "-workloads", "pagerank,lbm", "-instr", "400000"}
+
+	goldenDir := filepath.Join(dir, "golden")
+	golden := exec.Command(bin, append(args, "-out", goldenDir)...)
+	if out, err := golden.CombinedOutput(); err != nil {
+		t.Fatalf("uninterrupted run: %v\n%s", err, out)
+	}
+	goldenBytes, err := os.ReadFile(filepath.Join(goldenDir, "fig4.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Count(goldenBytes, []byte{'\n'}) != 14 {
+		t.Fatalf("golden run wrote %d records, want 14", bytes.Count(goldenBytes, []byte{'\n'}))
+	}
+
+	crashDir := filepath.Join(dir, "crash")
+	crashFile := filepath.Join(crashDir, "fig4.jsonl")
+	crash := exec.Command(bin, append(args, "-out", crashDir)...)
+	if err := crash.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Poll until at least two records hit the disk, then SIGKILL: the
+	// process dies with jobs in flight and no chance to clean up.
+	deadline := time.Now().Add(30 * time.Second)
+	killed := false
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(crashFile); err == nil && bytes.Count(b, []byte{'\n'}) >= 2 {
+			crash.Process.Signal(syscall.SIGKILL)
+			killed = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	err = crash.Wait()
+	if !killed {
+		t.Fatalf("no checkpoint records appeared before the deadline (run err: %v)", err)
+	}
+	if err == nil {
+		t.Log("sweep finished before SIGKILL landed; resume below degrades to a no-op check")
+	}
+	crashed, err := os.ReadFile(crashFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crashed) >= len(goldenBytes) && killed && bytes.Equal(crashed, goldenBytes) {
+		t.Log("kill landed after the last record; file already complete")
+	}
+
+	resume := exec.Command(bin, append(args, "-out", crashDir, "-resume")...)
+	if out, err := resume.CombinedOutput(); err != nil {
+		t.Fatalf("resume run: %v\n%s", err, out)
+	}
+	resumed, err := os.ReadFile(crashFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resumed, goldenBytes) {
+		t.Fatalf("resumed file differs from uninterrupted run:\n got %d bytes\nwant %d bytes\nfirst divergence near byte %d",
+			len(resumed), len(goldenBytes), firstDiff(resumed, goldenBytes))
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestKeepGoingCLIExitCode: a sweep whose every job of one workload
+// permanently fails (an always-panicking fault workload) still
+// completes under -keep-going, exits 1, and points at the ledger.
+func TestKeepGoingCLIExitCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a subprocess")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "experiments")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/experiments")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	outDir := filepath.Join(dir, "out")
+	cmd := exec.Command(bin, "-run", "fig4", "-instr", "60000",
+		// NB: the fault spec must stay comma-free — -workloads splits on
+		// commas before the fault kind ever sees the name.
+		"-workloads", "pagerank,fault:panic=1:lbm", "-keep-going", "-out", outDir)
+	out, err := cmd.CombinedOutput()
+	var exit *exec.ExitError
+	if err == nil || !errors.As(err, &exit) || exit.ExitCode() != 1 {
+		t.Fatalf("want exit code 1, got err=%v\n%s", err, out)
+	}
+	ledger := filepath.Join(outDir, "fig4.failed.jsonl")
+	if !strings.Contains(string(out), "ledger: "+ledger) {
+		t.Fatalf("output does not point at the ledger:\n%s", out)
+	}
+	lb, err := os.ReadFile(ledger)
+	if err != nil {
+		t.Fatalf("ledger missing: %v", err)
+	}
+	// All 7 schemes of the panicking workload failed; pagerank's 7 succeeded.
+	if got := bytes.Count(lb, []byte{'\n'}); got != 7 {
+		t.Fatalf("ledger holds %d failures, want 7", got)
+	}
+	if !bytes.Contains(lb, []byte(`"panic":true`)) {
+		t.Fatalf("ledger lines lack the panic marker:\n%s", lb)
+	}
+	sb, err := os.ReadFile(filepath.Join(outDir, "fig4.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bytes.Count(sb, []byte{'\n'}); got != 7 {
+		t.Fatalf("success stream holds %d records, want pagerank's 7", got)
+	}
+}

@@ -37,6 +37,40 @@ var (
 	ErrTraceCorrupt = errors.New("corrupt trace file")
 )
 
+// JobError reports one batch job's permanent failure after supervision
+// gave up on it: which job (sweep coordinate and content ID), how many
+// attempts were made, whether the final attempt panicked, and the
+// underlying cause. The runner's supervised workers convert panics and
+// per-attempt errors into one JobError per failed job; match with
+// errors.As to recover the job context, and errors.Is against the
+// wrapped cause (context.DeadlineExceeded for a blown per-job
+// deadline, ErrTraceCorrupt for a damaged replay, ...).
+type JobError struct {
+	// Coord is the job's sweep coordinate
+	// ("matrix|label|workload|scheme|seed").
+	Coord string
+	// ID is the job's content key over its resolved configuration.
+	ID string
+	// Attempts is how many times the job was tried before giving up.
+	Attempts int
+	// Panicked reports whether the final attempt failed by panic
+	// (recovered by the supervisor) rather than by returned error.
+	Panicked bool
+	// Err is the final attempt's failure cause.
+	Err error
+}
+
+func (e *JobError) Error() string {
+	how := "failed"
+	if e.Panicked {
+		how = "panicked"
+	}
+	return fmt.Sprintf("job %s (%s) %s after %d attempt(s): %v", e.Coord, e.ID, how, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the failure cause to errors.Is / errors.As.
+func (e *JobError) Unwrap() error { return e.Err }
+
 // ConfigError reports an invalid configuration field with enough
 // context to fix it: which field, and why its value was rejected.
 // Every layer that validates run configuration (sim.Config, workload

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"path/filepath"
+	"time"
 
 	"banshee/internal/runner"
 	"banshee/internal/sim"
@@ -45,6 +46,20 @@ type Options struct {
 	// Resume skips jobs whose results are already in Out (matched by
 	// content key, so edited sweeps re-simulate).
 	Resume bool
+	// KeepGoing completes each matrix past permanently failed jobs
+	// instead of aborting the experiment: failures stream to a sibling
+	// "<matrix>.failed.jsonl" ledger in Out, the aggregators render
+	// zero-valued holes at the failed coordinates, and OnFailures (if
+	// set) is told about them.
+	KeepGoing bool
+	// Retry bounds per-job retries (zero value = one attempt).
+	Retry runner.RetryPolicy
+	// JobTimeout, when positive, deadlines each job attempt.
+	JobTimeout time.Duration
+	// OnFailures, when non-nil with KeepGoing, receives each matrix's
+	// permanently failed jobs after it completes (skipped for clean
+	// matrices). ledger is the ledger file path, or "" without Out.
+	OnFailures func(matrix string, failed []runner.Record, ledger string)
 }
 
 func (o Options) workloads() []string {
@@ -103,27 +118,39 @@ var ErrCancelled = errors.New("experiment cancelled")
 // run executes a matrix on the batch engine, streaming to o.Out when
 // set. Errors panic: experiment configs are code, not input, so a
 // failure is a bug worth surfacing immediately — except cancellation
-// of o.Ctx, which panics with ErrCancelled for the caller to recover.
+// of o.Ctx, which panics with ErrCancelled for the caller to recover,
+// and per-job failures under o.KeepGoing, which the sweep outlives
+// (the ledger and OnFailures report them).
 func run(o Options, m runner.Matrix) *runner.ResultSet {
 	ctx := o.Ctx
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	eng := runner.Engine{Parallelism: o.Parallelism, Progress: o.Progress}
+	eng := runner.Engine{Parallelism: o.Parallelism, Progress: o.Progress,
+		Retry: o.Retry, JobTimeout: o.JobTimeout, KeepGoing: o.KeepGoing}
+	ledger := ""
 	if o.Out != "" {
 		sink, err := runner.OpenSink(filepath.Join(o.Out, m.Name+".jsonl"), o.Resume)
 		if err != nil {
-			panic(fmt.Sprintf("exp: matrix %s: %v", m.Name, err))
+			panic(fmt.Errorf("exp: matrix %s: %w", m.Name, err))
 		}
 		defer sink.Close()
 		eng.Sink = sink
+		if o.KeepGoing {
+			ledger = filepath.Join(o.Out, m.Name+".failed.jsonl")
+			eng.Ledger = runner.NewLedger(ledger)
+			defer eng.Ledger.Close()
+		}
 	}
 	rs, err := eng.Run(ctx, m)
 	if err != nil {
 		if ctx.Err() != nil {
 			panic(fmt.Errorf("%w: matrix %s: %v", ErrCancelled, m.Name, err))
 		}
-		panic(fmt.Sprintf("exp: matrix %s failed: %v", m.Name, err))
+		panic(fmt.Errorf("exp: matrix %s failed: %w", m.Name, err))
+	}
+	if failed := rs.Failed(); len(failed) > 0 && o.OnFailures != nil {
+		o.OnFailures(m.Name, failed, ledger)
 	}
 	return rs
 }

@@ -2,12 +2,14 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
-	"banshee/internal/sim"
+	"banshee/internal/errs"
 	"banshee/internal/stats"
 )
 
@@ -28,6 +30,32 @@ type Engine struct {
 	// Sink, when non-nil, streams results to disk and supplies the
 	// already-completed records a resumed run skips.
 	Sink *Sink
+
+	// Supervision. Every job always runs under panic isolation (a
+	// panicking scheme fails that job, never the process); the fields
+	// below tune what happens next.
+
+	// Retry bounds per-job retries with exponential backoff and
+	// deterministic jitter. Zero value = one attempt.
+	Retry RetryPolicy
+	// JobTimeout, when positive, bounds each attempt with
+	// context.WithTimeout; a blown deadline is a retryable job failure
+	// wrapping context.DeadlineExceeded.
+	JobTimeout time.Duration
+	// KeepGoing selects graceful degradation: a permanently failed job
+	// is recorded (Ledger, ResultSet.Failed) and the sweep completes
+	// the remaining jobs. False preserves fail-fast: the first
+	// permanent failure aborts the run with a *errs.JobError.
+	KeepGoing bool
+	// Ledger, when non-nil with KeepGoing, streams permanently failed
+	// jobs to its JSONL file. Reset at the start of every run: failed
+	// jobs are retryable-on-resume, so only the latest run's failures
+	// are current.
+	Ledger *Ledger
+	// JobRunner overrides how a job executes (nil = SimulateJob).
+	// Fault-injection seam: chaos harnesses wrap the default to
+	// inject panics, errors, and stalls around real simulations.
+	JobRunner JobRunner
 }
 
 // Run executes the matrix and returns its indexed results. The sink's
@@ -51,27 +79,41 @@ func (e Engine) Run(ctx context.Context, m Matrix) (*ResultSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	rs := &ResultSet{matrix: m.Name, baseSeed: m.baseSeed(), byCoord: make(map[string]Record, len(jobs))}
+	rs := &ResultSet{matrix: m.Name, baseSeed: m.baseSeed(),
+		byCoord: make(map[string]Record, len(jobs)), failedBy: map[string]Record{}}
+	if e.Ledger != nil {
+		if err := e.Ledger.Reset(); err != nil {
+			return nil, err
+		}
+	}
 
 	var (
 		mu       sync.Mutex
 		firstErr error
-		byID     = map[string]stats.Sim{}     // known results, content-keyed
-		inflight = map[string]chan struct{}{} // IDs being simulated now
+		byID     = map[string]stats.Sim{}      // known results, content-keyed
+		failedID = map[string]*errs.JobError{} // permanent failures, content-keyed
+		inflight = map[string]chan struct{}{}  // IDs being simulated now
 		results  = make([]*Record, len(jobs))
-		onDisk   = make([]bool, len(jobs)) // already in the sink file
-		next     = 0                       // flush frontier (enumeration order)
+		failures = make([]*Record, len(jobs)) // ledger records (KeepGoing)
+		onDisk   = make([]bool, len(jobs))    // already in the sink file
+		next     = 0                          // flush frontier (enumeration order)
 	)
 	if e.Sink != nil {
 		for _, r := range e.Sink.Loaded() {
 			byID[r.ID] = r.Result
 		}
+		if d := e.Sink.Dropped(); d > 0 && e.Progress != nil {
+			fmt.Fprintf(e.Progress, "sink: dropped %d corrupt checkpoint record(s) on resume\n", d)
+		}
 	}
 
-	// flushLocked streams the completed prefix to the sink in order.
+	// flushLocked streams the completed prefix to the sink in order. A
+	// permanently failed job occupies its slot without a record: the
+	// frontier steps over it so later successes still reach the disk,
+	// and the resulting gap is what makes the job retryable-on-resume.
 	flushLocked := func() {
-		for next < len(jobs) && results[next] != nil {
-			if !onDisk[next] && e.Sink != nil && firstErr == nil {
+		for next < len(jobs) && (results[next] != nil || failures[next] != nil) {
+			if results[next] != nil && !onDisk[next] && e.Sink != nil && firstErr == nil {
 				if err := e.Sink.Append(*results[next]); err != nil {
 					firstErr = err
 				}
@@ -86,6 +128,21 @@ func (e Engine) Run(ctx context.Context, m Matrix) (*ResultSet, error) {
 		flushLocked()
 		if e.Progress != nil {
 			fmt.Fprintf(e.Progress, "%-6s %-40s cycles=%d\n", how, j.Coord(), st.Cycles)
+		}
+	}
+	// failLocked records job i's permanent failure (KeepGoing mode):
+	// ledger line, failure slot for the flush frontier, progress note.
+	failLocked := func(i int, jerr *errs.JobError) {
+		rec := failureRecord(jobs[i], jerr)
+		failures[i] = &rec
+		if e.Ledger != nil && firstErr == nil {
+			if err := e.Ledger.Append(rec); err != nil {
+				firstErr = err
+			}
+		}
+		flushLocked()
+		if e.Progress != nil {
+			fmt.Fprintf(e.Progress, "%-6s %-40s %v\n", "FAIL", jobs[i].Coord(), jerr.Err)
 		}
 	}
 
@@ -159,12 +216,22 @@ func (e Engine) Run(ctx context.Context, m Matrix) (*ResultSet, error) {
 				own = wl
 				id := jobs[i].ID
 				// Reuse or await an identical config instead of
-				// simulating it twice.
+				// simulating it twice. A content key that already failed
+				// permanently fails this job too — the injected faults
+				// are keyed by the same ID, so an identical config would
+				// only fail identically.
 				reused := false
 				for {
 					if st, ok := byID[id]; ok {
 						rs.Cached++
 						completeLocked(i, st, "reuse")
+						reused = true
+						break
+					}
+					if jerr, ok := failedID[id]; ok {
+						shared := &errs.JobError{Coord: jobs[i].Coord(), ID: id,
+							Attempts: jerr.Attempts, Panicked: jerr.Panicked, Err: jerr.Err}
+						failLocked(i, shared)
 						reused = true
 						break
 					}
@@ -188,20 +255,32 @@ func (e Engine) Run(ctx context.Context, m Matrix) (*ResultSet, error) {
 				inflight[id] = ch
 				mu.Unlock()
 
-				// Simulate under ctx so cancellation lands mid-job, not
-				// only between jobs: the session stops at its next step
-				// boundary and its partial stats are discarded here —
-				// only complete results ever reach the sink.
-				st, err := runJob(ctx, jobs[i].Config)
+				// Run the job supervised, under ctx so cancellation
+				// lands mid-job, not only between jobs: the session
+				// stops at its next step boundary and its partial stats
+				// are discarded here — only complete results ever reach
+				// the sink. Panics and per-attempt errors come back as
+				// one *errs.JobError after retries are exhausted.
+				st, err := e.runSupervised(ctx, jobs[i])
 
 				mu.Lock()
 				delete(inflight, id)
 				if err != nil {
+					var jerr *errs.JobError
+					if ctx.Err() == nil && errors.As(err, &jerr) && e.KeepGoing {
+						// Graceful degradation: ledger the failure and
+						// let the sweep finish everything else.
+						failedID[id] = jerr
+						failLocked(i, jerr)
+						close(ch)
+						mu.Unlock()
+						continue
+					}
 					if firstErr == nil {
 						if ctx.Err() != nil {
 							firstErr = fmt.Errorf("runner: sweep cancelled: %w", ctx.Err())
 						} else {
-							firstErr = fmt.Errorf("runner: job %s (%s): %w", jobs[i].Coord(), id, err)
+							firstErr = fmt.Errorf("runner: %w", err)
 						}
 					}
 					close(ch)
@@ -221,24 +300,21 @@ func (e Engine) Run(ctx context.Context, m Matrix) (*ResultSet, error) {
 		return nil, firstErr
 	}
 
-	for _, r := range results {
+	for i, r := range results {
+		if r == nil {
+			f := failures[i]
+			rs.failed = append(rs.failed, *f)
+			rs.failedBy[coordKey(f.Matrix, f.Label, f.Workload, f.Scheme, f.Seed)] = *f
+			continue
+		}
 		rs.records = append(rs.records, *r)
 		rs.byCoord[coordKey(r.Matrix, r.Label, r.Workload, r.Scheme, r.Seed)] = *r
 	}
 	if e.Progress != nil {
-		fmt.Fprintf(e.Progress, "matrix %s: %d jobs, %d cached, %d executed\n",
-			m.Name, len(jobs), rs.Cached, rs.Executed)
+		fmt.Fprintf(e.Progress, "matrix %s: %d jobs, %d cached, %d executed, %d failed\n",
+			m.Name, len(jobs), rs.Cached, rs.Executed, len(rs.failed))
 	}
 	return rs, nil
-}
-
-// runJob simulates one fully resolved config under ctx.
-func runJob(ctx context.Context, cfg sim.Config) (stats.Sim, error) {
-	sess, err := sim.NewSessionConfig(cfg)
-	if err != nil {
-		return stats.Sim{}, err
-	}
-	return sess.Run(ctx)
 }
 
 // jobQueue is the pool's scheduling state: per-workload FIFO queues in

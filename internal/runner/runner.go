@@ -135,7 +135,12 @@ func jobID(cfg sim.Config) string {
 	return hex.EncodeToString(sum[:8])
 }
 
-// Record is one completed job as stored in the JSONL sink.
+// Record is one job as stored in the JSONL sink (successes) or the
+// failure ledger (permanent failures). Success records carry a Result
+// and leave the failure fields zero — their JSON encoding is exactly
+// what it was before supervision existed, which is what keeps the
+// success stream's byte-identical resume guarantee intact. Ledger
+// records carry an empty Result plus the failure context.
 type Record struct {
 	ID       string    `json:"id"`
 	Matrix   string    `json:"matrix"`
@@ -144,6 +149,10 @@ type Record struct {
 	Scheme   string    `json:"scheme"`
 	Seed     uint64    `json:"seed"`
 	Result   stats.Sim `json:"result"`
+	// Failure context (ledger records only).
+	Attempts int    `json:"attempts,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Panicked bool   `json:"panic,omitempty"`
 }
 
 // ResultSet holds a completed matrix run, indexed for aggregation.
@@ -152,6 +161,8 @@ type ResultSet struct {
 	baseSeed uint64
 	byCoord  map[string]Record
 	records  []Record // enumeration order
+	failed   []Record // enumeration order, supervised runs only
+	failedBy map[string]Record
 	// Executed counts jobs that were simulated; Cached counts jobs
 	// served from the sink or deduplicated against an identical config.
 	Executed int
@@ -159,11 +170,17 @@ type ResultSet struct {
 }
 
 // Get returns the result at (label, workload, scheme) for the matrix's
-// base seed. Missing coordinates panic: experiment aggregations are
-// code, not input, so a miss is a bug worth surfacing immediately.
+// base seed. A coordinate whose job failed under supervision returns a
+// zero Result — an explicit hole the aggregators render instead of
+// aborting the whole figure. Coordinates the matrix never enumerated
+// panic: experiment aggregations are code, not input, so those misses
+// are bugs worth surfacing immediately.
 func (rs *ResultSet) Get(label, workload, scheme string) stats.Sim {
 	st, ok := rs.Lookup(label, workload, scheme, rs.baseSeed)
 	if !ok {
+		if _, failed := rs.failedBy[coordKey(rs.matrix, label, workload, scheme, rs.baseSeed)]; failed {
+			return stats.Sim{}
+		}
 		panic(fmt.Sprintf("runner: matrix %s has no result at %s/%s/%s", rs.matrix, label, workload, scheme))
 	}
 	return st
@@ -175,5 +192,11 @@ func (rs *ResultSet) Lookup(label, workload, scheme string, seed uint64) (stats.
 	return r.Result, ok
 }
 
-// Records returns every record in matrix enumeration order.
+// Records returns every successful record in matrix enumeration order.
 func (rs *ResultSet) Records() []Record { return rs.records }
+
+// Failed returns the jobs that permanently failed under supervision,
+// in matrix enumeration order. Each record carries the job's
+// coordinates plus Attempts/Error/Panicked and an empty Result. Empty
+// on an unsupervised (fail-fast) or fully successful run.
+func (rs *ResultSet) Failed() []Record { return rs.failed }

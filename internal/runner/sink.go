@@ -3,28 +3,45 @@ package runner
 import (
 	"bufio"
 	"bytes"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 )
 
+// castagnoli is the CRC-32C table — the same polynomial the .btrc
+// trace format uses for its chunk checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// crcSuffixLen is the length of the per-line checksum suffix:
+// `,"crc":"xxxxxxxx"}` spliced over the record's closing brace.
+const crcSuffixLen = len(`,"crc":"00000000"}`)
+
 // Sink streams completed records to a JSONL file, one record per line,
 // flushed per line so an interrupted sweep loses at most a partial
-// trailing line. Opened with resume, it indexes the records already on
-// disk (repairing a torn tail) so the engine can skip finished jobs and
-// append the remainder — producing a file byte-identical to an
-// uninterrupted run.
+// trailing line. Every line carries a CRC-32C of the record's
+// canonical JSON as a trailing "crc" field, so damage anywhere in a
+// checkpoint — not just a torn final line — is detected on resume.
+// Opened with resume, it indexes the records already on disk,
+// truncating at the first torn or checksum-failing record (Dropped
+// reports how many complete records that discarded), so the engine can
+// skip finished jobs and append the remainder — producing a file
+// byte-identical to an uninterrupted run.
 type Sink struct {
-	f      *os.File
-	w      *bufio.Writer
-	loaded []Record
+	f       *os.File
+	out     io.Writer
+	w       *bufio.Writer
+	loaded  []Record
+	dropped int
 }
 
 // OpenSink opens (and if needed creates) the JSONL file at path. With
 // resume false any existing content is discarded; with resume true
-// existing complete records are loaded and the file is truncated to the
-// last complete line before appending resumes.
+// existing intact records are loaded and the file is truncated to the
+// last intact line before appending resumes.
 func OpenSink(path string, resume bool) (*Sink, error) {
 	if dir := filepath.Dir(path); dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -36,7 +53,7 @@ func OpenSink(path string, resume bool) (*Sink, error) {
 		if err != nil {
 			return nil, fmt.Errorf("runner: sink: %w", err)
 		}
-		return &Sink{f: f, w: bufio.NewWriter(f)}, nil
+		return newSink(f), nil
 	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
@@ -54,14 +71,14 @@ func OpenSink(path string, resume bool) (*Sink, error) {
 		if nl < 0 {
 			break // torn trailing line from an interrupted run
 		}
-		line := data[valid : valid+nl]
-		var r Record
-		if err := json.Unmarshal(line, &r); err != nil || r.ID == "" {
-			break // corrupt tail; keep only the records before it
+		r, ok := decodeLine(data[valid : valid+nl])
+		if !ok {
+			break // corrupt record; keep only the intact prefix
 		}
 		loaded = append(loaded, r)
 		valid += nl + 1
 	}
+	dropped := bytes.Count(data[valid:], []byte{'\n'})
 	if valid < len(data) {
 		if err := f.Truncate(int64(valid)); err != nil {
 			f.Close()
@@ -72,11 +89,61 @@ func OpenSink(path string, resume bool) (*Sink, error) {
 		f.Close()
 		return nil, fmt.Errorf("runner: sink seek: %w", err)
 	}
-	return &Sink{f: f, w: bufio.NewWriter(f), loaded: loaded}, nil
+	s := newSink(f)
+	s.loaded, s.dropped = loaded, dropped
+	return s, nil
+}
+
+func newSink(f *os.File) *Sink {
+	return &Sink{f: f, out: f, w: bufio.NewWriter(f)}
+}
+
+// decodeLine validates and parses one sink line: the trailing crc
+// field must be present and its CRC-32C must match the canonical
+// record bytes (the line with the crc splice removed). Verifying the
+// raw bytes — rather than re-encoding the parsed record — catches a
+// flipped bit inside any value, not just structural damage.
+func decodeLine(line []byte) (Record, bool) {
+	if len(line) < crcSuffixLen || line[len(line)-1] != '}' {
+		return Record{}, false
+	}
+	suffix := line[len(line)-crcSuffixLen:]
+	if !bytes.HasPrefix(suffix, []byte(`,"crc":"`)) || !bytes.HasSuffix(suffix, []byte(`"}`)) {
+		return Record{}, false
+	}
+	var want [4]byte
+	if _, err := hex.Decode(want[:], suffix[8:16]); err != nil {
+		return Record{}, false
+	}
+	canonical := make([]byte, 0, len(line))
+	canonical = append(canonical, line[:len(line)-crcSuffixLen]...)
+	canonical = append(canonical, '}')
+	if crc32.Checksum(canonical, castagnoli) != uint32(want[0])<<24|uint32(want[1])<<16|uint32(want[2])<<8|uint32(want[3]) {
+		return Record{}, false
+	}
+	var r Record
+	if err := json.Unmarshal(canonical, &r); err != nil || r.ID == "" {
+		return Record{}, false
+	}
+	return r, true
 }
 
 // Loaded returns the records read at open time (resume only).
 func (s *Sink) Loaded() []Record { return s.loaded }
+
+// Dropped returns how many complete-but-corrupt records resume
+// discarded when it truncated the file (a torn trailing partial line
+// is repaired silently and not counted).
+func (s *Sink) Dropped() int { return s.dropped }
+
+// WrapWriter interposes wrap's result between the sink's line buffer
+// and the file — the fault-injection seam: chaos tests wrap it to
+// inject short writes and write errors into the checkpoint stream.
+func (s *Sink) WrapWriter(wrap func(io.Writer) io.Writer) {
+	s.w.Flush()
+	s.out = wrap(s.out)
+	s.w = bufio.NewWriter(s.out)
+}
 
 // Rewrite replaces the file's contents with recs — used when a resumed
 // matrix no longer matches the file's record sequence (an edited
@@ -92,7 +159,7 @@ func (s *Sink) Rewrite(recs []Record) error {
 	if _, err := s.f.Seek(0, 0); err != nil {
 		return fmt.Errorf("runner: sink rewrite: %w", err)
 	}
-	s.w.Reset(s.f)
+	s.w = bufio.NewWriter(s.out)
 	for _, r := range recs {
 		if err := s.Append(r); err != nil {
 			return err
@@ -101,13 +168,19 @@ func (s *Sink) Rewrite(recs []Record) error {
 	return nil
 }
 
-// Append writes one record as a JSON line and flushes it to disk.
+// Append writes one record as a checksummed JSON line and flushes it
+// to disk.
 func (s *Sink) Append(r Record) error {
 	b, err := json.Marshal(r)
 	if err != nil {
 		return fmt.Errorf("runner: sink encode: %w", err)
 	}
-	if _, err := s.w.Write(append(b, '\n')); err != nil {
+	crc := crc32.Checksum(b, castagnoli)
+	line := make([]byte, 0, len(b)+crcSuffixLen)
+	line = append(line, b[:len(b)-1]...) // drop the closing brace
+	line = append(line, fmt.Sprintf(`,"crc":"%08x"}`, crc)...)
+	line = append(line, '\n')
+	if _, err := s.w.Write(line); err != nil {
 		return fmt.Errorf("runner: sink write: %w", err)
 	}
 	return s.w.Flush()

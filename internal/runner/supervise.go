@@ -1,0 +1,251 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"banshee/internal/errs"
+	"banshee/internal/sim"
+	"banshee/internal/stats"
+)
+
+// JobRunner executes one resolved job. The engine's default simulates
+// the job's config (SimulateJob); tests and chaos harnesses substitute
+// their own to inject faults around — or instead of — the simulation.
+type JobRunner func(ctx context.Context, job Job) (stats.Sim, error)
+
+// SimulateJob is the default JobRunner: it simulates job.Config to
+// completion under ctx as a one-shot session.
+func SimulateJob(ctx context.Context, job Job) (stats.Sim, error) {
+	sess, err := sim.NewSessionConfig(job.Config)
+	if err != nil {
+		return stats.Sim{}, err
+	}
+	return sess.Run(ctx)
+}
+
+// RetryPolicy bounds how a supervised job is retried. The zero value
+// means a single attempt (no retries). Backoff is exponential from
+// BaseDelay, capped at MaxDelay, with deterministic jitter derived
+// from the job's content ID — so a chaos run's retry schedule is
+// reproducible run to run.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per job (first try
+	// included). 0 and 1 both mean one attempt.
+	MaxAttempts int
+	// BaseDelay is the wait before the first retry (0 = no wait).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (0 = uncapped).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// delay returns the backoff before retry `attempt` (1-based: the delay
+// after the attempt-th failure). Jitter multiplies the exponential
+// delay by a factor in [0.5, 1.0) hashed from (jobID, attempt), so
+// concurrent failing jobs de-synchronize without perturbing any RNG
+// the simulations use — determinism of results is untouched.
+func (p RetryPolicy) delay(jobID string, attempt int) time.Duration {
+	if p.BaseDelay <= 0 {
+		return 0
+	}
+	d := p.BaseDelay << (attempt - 1)
+	if d <= 0 || (p.MaxDelay > 0 && d > p.MaxDelay) {
+		d = p.MaxDelay
+		if d <= 0 {
+			d = p.BaseDelay
+		}
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d", jobID, attempt)
+	frac := float64(h.Sum64()>>11) / (1 << 53) // [0,1)
+	return d/2 + time.Duration(frac*float64(d/2))
+}
+
+// panicError is a recovered panic converted into an error so the
+// retry/ledger machinery can treat panics and returned errors
+// uniformly. The stack is captured at recovery for the ledger.
+type panicError struct {
+	val   interface{}
+	stack []byte
+}
+
+func (e *panicError) Error() string { return fmt.Sprintf("panic: %v", e.val) }
+
+// runSupervised executes one job under the engine's supervision:
+// panics are recovered into errors, the optional per-job deadline is
+// applied per attempt, and failures are retried per the RetryPolicy
+// with deterministic jitter. A nil error means the job succeeded; a
+// non-nil error is always a *errs.JobError carrying the job context
+// and attempt count — except when the parent ctx was cancelled, which
+// is surfaced as-is (cancellation is the sweep ending, not this job
+// failing).
+func (e Engine) runSupervised(ctx context.Context, job Job) (stats.Sim, error) {
+	run := e.JobRunner
+	if run == nil {
+		run = SimulateJob
+	}
+	max := e.Retry.attempts()
+	var lastErr error
+	attempts := 0
+	for attempt := 1; attempt <= max; attempt++ {
+		attempts = attempt
+		st, err := e.attempt(ctx, job, run)
+		if err == nil {
+			return st, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			// The sweep is shutting down: don't retry, and don't record
+			// the interruption as a job failure.
+			return stats.Sim{}, ctx.Err()
+		}
+		if attempt < max {
+			if !sleepCtx(ctx, e.Retry.delay(job.ID, attempt)) {
+				return stats.Sim{}, ctx.Err()
+			}
+		}
+	}
+	_, panicked := lastErr.(*panicError)
+	return stats.Sim{}, &errs.JobError{
+		Coord: job.Coord(), ID: job.ID, Attempts: attempts, Panicked: panicked, Err: lastErr,
+	}
+}
+
+// attempt runs one try of the job: per-attempt deadline, panic
+// isolation. A panicking scheme (or workload source) unwinds only this
+// attempt's stack — the worker, its queue, and every other in-flight
+// job are untouched.
+func (e Engine) attempt(ctx context.Context, job Job, run JobRunner) (st stats.Sim, err error) {
+	if e.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.JobTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicError{val: r, stack: debug.Stack()}
+		}
+	}()
+	return run(ctx, job)
+}
+
+// sleepCtx sleeps for d unless ctx ends first; reports whether the
+// full sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// failureRecord renders a permanently failed job as the Record the
+// ledger stores: the job's coordinates with an empty Result and the
+// error context filled in. Success records never set these fields, so
+// the success stream's JSON encoding is unchanged by their existence.
+func failureRecord(j Job, jerr *errs.JobError) Record {
+	return Record{
+		ID: j.ID, Matrix: j.Matrix, Label: j.Label,
+		Workload: j.Workload, Scheme: j.Scheme, Seed: j.Seed,
+		Attempts: jerr.Attempts, Error: jerr.Err.Error(), Panicked: jerr.Panicked,
+	}
+}
+
+// Ledger streams permanently failed jobs to a JSONL file — the
+// failure side-channel of a sink's success stream. The file is
+// created lazily on the first failure (a clean sweep leaves no ledger
+// behind) and reset at the start of each engine run, because failed
+// jobs are retryable-on-resume: a resumed sweep re-attempts them, and
+// only the failures of the latest run are current.
+type Ledger struct {
+	mu    sync.Mutex
+	path  string
+	f     *os.File
+	count int
+}
+
+// NewLedger returns a ledger that will write to path on the first
+// recorded failure. No file is touched until then.
+func NewLedger(path string) *Ledger { return &Ledger{path: path} }
+
+// Path returns the ledger's file path.
+func (l *Ledger) Path() string { return l.path }
+
+// Count returns how many failures have been recorded since the last
+// Reset.
+func (l *Ledger) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// Reset discards any previous run's ledger file so the ledger only
+// ever reflects the latest run. The engine calls it at Run start.
+func (l *Ledger) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f != nil {
+		l.f.Close()
+		l.f = nil
+	}
+	l.count = 0
+	if err := os.Remove(l.path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("runner: ledger reset: %w", err)
+	}
+	return nil
+}
+
+// Append records one failed job, creating the file if needed and
+// flushing the line to disk immediately — a crashed sweep keeps the
+// failures it had already diagnosed.
+func (l *Ledger) Append(r Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		f, err := os.OpenFile(l.path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return fmt.Errorf("runner: ledger: %w", err)
+		}
+		l.f = f
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("runner: ledger encode: %w", err)
+	}
+	if _, err := l.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("runner: ledger write: %w", err)
+	}
+	l.count++
+	return nil
+}
+
+// Close closes the ledger file if one was created.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
