@@ -1,26 +1,28 @@
-# Developer entry points. The benchmark trajectory (BENCH_5.json) is
+# Developer entry points. The benchmark trajectory (BENCH_6.json) is
 # machine-readable output of `make bench`; CI gates allocs/op against it
 # with a ±20% tolerance (time gates only make sense on one machine —
-# see PERFORMANCE.md "Keeping it fast").
+# see PERFORMANCE.md "Keeping it fast"). Earlier baselines (BENCH_5.json)
+# stay committed as the trajectory's history.
 
-# The benchmark set tracked in BENCH_5.json: the end-to-end run plus the
-# micro-benchmarks of every hot-loop structure this pass reworked.
-BENCHES := BenchmarkEndToEnd$$|BenchmarkSRAMCache$$|BenchmarkTagBuffer$$|BenchmarkBansheeAccess$$|BenchmarkDRAMAccess$$|BenchmarkTraceGen$$
+# The benchmark set tracked in BENCH_6.json: the end-to-end run, the
+# micro-benchmarks of every hot-loop structure, and the gang-vs-
+# independent sweep throughput comparison (PERFORMANCE.md "Pass 3").
+BENCHES := BenchmarkEndToEnd$$|BenchmarkSRAMCache$$|BenchmarkTagBuffer$$|BenchmarkBansheeAccess$$|BenchmarkDRAMAccess$$|BenchmarkTraceGen$$|BenchmarkGangSweep$$
 
 .PHONY: test bench bench-check
 
 test:
 	go build ./... && go test ./...
 
-# bench refreshes BENCH_5.json in place. Commit the result when a perf
+# bench refreshes BENCH_6.json in place. Commit the result when a perf
 # change is deliberate; the diff is the perf review. The go test output
 # lands in a temp file first so a mid-suite failure fails the target
 # instead of silently writing a partial baseline (sh has no pipefail).
 bench:
 	go test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime 1s -count 1 . > /tmp/bench_run.txt
 	go run ./cmd/benchjson < /tmp/bench_run.txt > /tmp/bench_new.json
-	mv /tmp/bench_new.json BENCH_5.json
-	@cat BENCH_5.json
+	mv /tmp/bench_new.json BENCH_6.json
+	@cat BENCH_6.json
 
 # bench-check runs the same suite (same benchtime, so warmup
 # allocations amortize identically) and fails if allocs/op drifted more
@@ -29,4 +31,4 @@ bench:
 bench-check:
 	go test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime 1s -count 1 . > /tmp/bench_check.txt
 	go run ./cmd/benchjson < /tmp/bench_check.txt > /tmp/bench_now.json
-	go run ./cmd/benchjson -diff -tol 0.2 -metric allocs BENCH_5.json /tmp/bench_now.json
+	go run ./cmd/benchjson -diff -tol 0.2 -metric allocs BENCH_6.json /tmp/bench_now.json

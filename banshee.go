@@ -171,6 +171,29 @@ func NewSession(cfg Config, workload, scheme string) (*Session, error) {
 	return sim.NewSession(cfg, workload, scheme)
 }
 
+// GangSession is a set of simulations of the same workload stream
+// advancing in lockstep as lanes over one shared front end (trace
+// generation, TLB/page table, L1/L2), with exact per-lane back ends
+// (L3, scheme, DRAM timing). Each lane's statistics are byte-identical
+// to the same config run alone, at a fraction of the aggregate cost.
+// Drive it like a Session: Step/Run/Progress, Results for the
+// per-lane stats, Close when abandoning it early.
+type GangSession = sim.Gang
+
+// NewGangSession opens a lockstep gang of len(seeds) lanes: cfg
+// replicated across the seeds, all replaying one shared workload
+// stream. When cfg.WorkloadSeed is zero it is pinned to cfg.Seed (or
+// the first seed), which is what makes the multi-seed gang share a
+// stream; an independent run reproduces any lane byte-for-byte by
+// setting the same Seed and WorkloadSeed.
+//
+// Gangs require a gang-safe scheme — one that never touches the
+// shared VM substrate (every built-in except Banshee, which rewrites
+// PTEs) — and PrefetchDegree 0; other configs return an error.
+func NewGangSession(cfg Config, workload, scheme string, seeds []uint64) (*GangSession, error) {
+	return sim.NewGangSeeds(cfg, workload, scheme, seeds)
+}
+
 // Run simulates the named workload under the named scheme to
 // completion (a one-shot Session). Scheme names follow the paper's
 // labels: "NoCache", "CacheOnly", "Alloy 1", "Alloy 0.1", "Unison",
@@ -361,6 +384,13 @@ type BatchOptions struct {
 	// from Out ("sweep.jsonl" → "sweep.failed.jsonl"); only used with
 	// KeepGoing, and the file exists only when failures occurred.
 	FailedOut string
+	// GangWidth, when ≥ 2, executes up to that many gang-eligible jobs
+	// sharing a front-end shape (same workload stream — differing only
+	// by seed with WorkloadSeed pinned, or by back-end knobs) as one
+	// lockstep GangSession. Results, checkpoint files, and failure
+	// handling are byte-identical to independent execution; a failed
+	// gang automatically retries its jobs independently. 0 disables.
+	GangWidth int
 }
 
 // RunBatch executes a matrix of simulations on the batch engine with
@@ -375,7 +405,8 @@ type BatchOptions struct {
 // flow.
 func RunBatch(ctx context.Context, m Matrix, o BatchOptions) (*BatchResult, error) {
 	eng := runner.Engine{Parallelism: o.Parallelism, Progress: o.Progress,
-		Retry: o.Retry, JobTimeout: o.JobTimeout, KeepGoing: o.KeepGoing}
+		Retry: o.Retry, JobTimeout: o.JobTimeout, KeepGoing: o.KeepGoing,
+		GangWidth: o.GangWidth}
 	if o.Out != "" {
 		sink, err := runner.OpenSink(o.Out, o.Resume)
 		if err != nil {

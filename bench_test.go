@@ -9,6 +9,7 @@ package banshee_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"path/filepath"
 	"testing"
@@ -301,6 +302,72 @@ func BenchmarkEndToEnd(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkGangSweep measures the gang execution engine (DESIGN.md
+// §12): the same 8-seed sweep run as 8 independent simulations versus
+// one width-8 gang, reporting aggregate simulated memory accesses per
+// wall-second. The workload is the triangle-counting kernel (its
+// sequential edge scans give the long L1/L2-hit runs the lane batcher
+// replays in bulk) under TDC. WarmupFrac is 0 in both arms — the
+// benchmark measures engine throughput over the whole run, not a
+// warmed measurement window — and both arms share one WorkloadSeed so
+// they simulate the identical event streams. The gang arm is the
+// headline number: it must sustain ≥2× the independent arm's
+// aggregate accesses/sec.
+func BenchmarkGangSweep(b *testing.B) {
+	const workload, scheme = "tri_count_kernel", "TDC"
+	gangCfg := func() banshee.Config {
+		cfg := benchConfig()
+		cfg.WorkloadSeed = 42
+		cfg.WarmupFrac = 0
+		return cfg
+	}
+	seeds := make([]uint64, 8)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	// Build the graph substrate outside the timed regions (it is cached
+	// and shared by both arms; a short run forces construction).
+	warm := gangCfg()
+	warm.InstrPerCore = 1_000
+	if _, err := banshee.Run(warm, workload, scheme); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("independent", func(b *testing.B) {
+		var accesses uint64
+		for i := 0; i < b.N; i++ {
+			accesses = 0
+			for _, sd := range seeds {
+				cfg := gangCfg()
+				cfg.Seed = sd
+				res, err := banshee.Run(cfg, workload, scheme)
+				if err != nil {
+					b.Fatal(err)
+				}
+				accesses += res.L1Accesses
+			}
+		}
+		b.ReportMetric(float64(accesses)*float64(b.N)/b.Elapsed().Seconds(), "accesses/s")
+	})
+	b.Run("gang8", func(b *testing.B) {
+		var accesses uint64
+		for i := 0; i < b.N; i++ {
+			g, err := banshee.NewGangSession(gangCfg(), workload, scheme, seeds)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := g.Run(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			accesses = 0
+			for _, r := range res {
+				accesses += r.L1Accesses
+			}
+		}
+		b.ReportMetric(float64(accesses)*float64(b.N)/b.Elapsed().Seconds(), "accesses/s")
+	})
 }
 
 // countWriter measures encoded bytes without storing them.

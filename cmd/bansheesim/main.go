@@ -16,10 +16,17 @@
 //	bansheesim -workload lbm -scheme "Alloy 0.1" -instr 2000000
 //	bansheesim -workload pagerank -scheme Banshee -epoch 500000
 //	bansheesim -workload mix1 -scheme Banshee -cpuprofile sim.prof
+//	bansheesim -workload mcf -scheme "Alloy 1" -gang 1,2,3,4
 //
 // The -cpuprofile/-memprofile flags write pprof profiles of the run so
 // the PERFORMANCE.md methodology applies to the shipped binary, not
 // only the test harness: `go tool pprof bansheesim sim.prof`.
+//
+// With -gang a comma-separated seed list runs as lanes of one lockstep
+// gang over a shared front end (gang-safe schemes only — every
+// built-in except Banshee; see DESIGN.md §12); each lane's printed
+// stats are byte-identical to an independent -seed run of that seed
+// with WorkloadSeed pinned.
 package main
 
 import (
@@ -31,8 +38,10 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	_ "banshee/internal/fault" // registers the "fault:" chaos workload kind
 	"banshee/internal/mem"
@@ -57,6 +66,7 @@ func run() int {
 		large    = flag.Bool("largepages", false, "back all data with 2 MB pages")
 		epoch    = flag.Uint64("epoch", 0, "print a live sample every N retired instructions (0 = off)")
 		timeout  = flag.Duration("timeout", 0, "wall-clock deadline for the run (0 = none); partial stats print on expiry")
+		gang     = flag.String("gang", "", "comma-separated seeds to run as one lockstep gang (gang-safe schemes only); per-lane stats print at the end")
 		list     = flag.Bool("list", false, "list workloads and exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile at exit to this file")
@@ -123,6 +133,10 @@ func run() int {
 		defer cancel()
 	}
 
+	if *gang != "" {
+		return runGang(ctx, cfg, *workload, *scheme, *gang, *timeout)
+	}
+
 	sess, err := sim.NewSession(cfg, *workload, *scheme)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bansheesim:", err)
@@ -156,6 +170,50 @@ func run() int {
 	}
 
 	report(st, code != 0)
+	return code
+}
+
+// runGang runs one lane per seed in lockstep over a shared front end
+// and reports each lane's statistics — every lane is byte-identical to
+// an independent run with the same Seed and WorkloadSeed (pinned to
+// -seed here so all lanes share the stream).
+func runGang(ctx context.Context, cfg sim.Config, workload, scheme, seedList string, timeout time.Duration) int {
+	var seeds []uint64
+	for _, s := range strings.Split(seedList, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bansheesim: -gang:", err)
+			return 1
+		}
+		seeds = append(seeds, v)
+	}
+	g, err := sim.NewGangSeeds(cfg, workload, scheme, seeds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bansheesim:", err)
+		return 1
+	}
+	results, err := g.Run(ctx)
+	code := 0
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		p := g.Progress()
+		fmt.Fprintf(os.Stderr, "bansheesim: deadline (%s) exceeded at %d of %d gang instructions; stats below are partial\n",
+			timeout, p.Retired, p.Total)
+		code = 124
+	case errors.Is(err, context.Canceled):
+		p := g.Progress()
+		fmt.Fprintf(os.Stderr, "bansheesim: interrupted at %d of %d gang instructions; stats below are partial\n",
+			p.Retired, p.Total)
+		code = 130
+	default:
+		fmt.Fprintln(os.Stderr, "bansheesim:", err)
+		return 1
+	}
+	for i, st := range results {
+		fmt.Printf("--- lane %d (seed %d) ---\n", i, seeds[i])
+		report(st, code != 0)
+	}
 	return code
 }
 

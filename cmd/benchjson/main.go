@@ -39,6 +39,9 @@ type Entry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	MBPerOp     float64 `json:"mb_per_op"`
+	// Extra holds benchmark-specific b.ReportMetric units (e.g. the gang
+	// engine's accesses/s) verbatim; informational, never gated.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // benchLine matches "BenchmarkX[-P] <iters> <pairs...>"; the -P
@@ -66,6 +69,11 @@ func parse(r *bufio.Scanner) ([]Entry, error) {
 				e.AllocsPerOp = v
 			case "B/op":
 				e.MBPerOp = v / 1e6
+			default:
+				if e.Extra == nil {
+					e.Extra = map[string]float64{}
+				}
+				e.Extra[fields[i+1]] = v
 			}
 		}
 		out = append(out, e)

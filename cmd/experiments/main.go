@@ -22,6 +22,14 @@
 // The "fault:<spec>:<inner>" workload names inject deterministic
 // source-level chaos for testing that machinery.
 //
+// With -gang N the batch engine executes up to N gang-eligible jobs of
+// a matrix (same workload stream and scheme kind, differing only by
+// seed or back-end knobs — see DESIGN.md §12) as one lockstep gang;
+// every output file stays byte-identical to an ungrouped run.
+//
+// The -cpuprofile/-memprofile flags write pprof profiles of the suite
+// (same contract as bansheesim's): `go tool pprof experiments cpu.prof`.
+//
 // Exit codes: 0 clean, 1 on error or when any job permanently failed
 // (the ledger paths are printed), 130 when interrupted.
 //
@@ -31,6 +39,7 @@
 //	experiments -run all -instr 2000000
 //	experiments -run fig5 -workloads pagerank,lbm,mcf
 //	experiments -run all -out results/ -resume -v
+//	experiments -run fig8 -gang 8 -cpuprofile cpu.prof
 //	experiments -run table6 -workloads "pagerank,fault:panic=1:lbm" -keep-going -retries 3 -out results/
 package main
 
@@ -41,6 +50,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -50,9 +61,15 @@ import (
 	"banshee/internal/runner"
 )
 
+// main defers to run so profile-flushing defers survive the non-zero
+// exit paths (os.Exit skips deferred functions).
 func main() {
+	os.Exit(run())
+}
+
+func run() (code int) {
 	var (
-		run        = flag.String("run", "all", "experiment: table1|fig4|fig5|fig6|fig7|fig8|fig9|table5|table6|largepage|batman|all")
+		target     = flag.String("run", "all", "experiment: table1|fig4|fig5|fig6|fig7|fig8|fig9|table5|table6|largepage|batman|all")
 		instr      = flag.Uint64("instr", 0, "instructions per core (0 = default)")
 		seed       = flag.Uint64("seed", 42, "base seed")
 		workloads  = flag.String("workloads", "", "comma-separated workload subset (default: the paper's 16)")
@@ -63,8 +80,39 @@ func main() {
 		keepGoing  = flag.Bool("keep-going", false, "complete sweeps past failed jobs (ledger + partial figures) instead of aborting")
 		retries    = flag.Int("retries", 1, "attempts per job (retries with backoff after the first)")
 		jobTimeout = flag.Duration("job-timeout", 0, "per-job-attempt deadline (0 = none)")
+		gang       = flag.Int("gang", 0, "run up to N gang-eligible jobs as one lockstep gang (0 = off)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the suite to this file")
+		memProf    = flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap numbers before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
 
 	// An interrupt cancels every in-flight simulation through the
 	// options context; exp.run surfaces the cancellation as an
@@ -77,10 +125,11 @@ func main() {
 
 	o := exp.Options{Ctx: ctx, Instr: *instr, Seed: *seed, Intensity: *intensity,
 		Out: *out, Resume: *resume, KeepGoing: *keepGoing, JobTimeout: *jobTimeout,
-		Retry: runner.RetryPolicy{MaxAttempts: *retries, BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second}}
+		GangWidth: *gang,
+		Retry:     runner.RetryPolicy{MaxAttempts: *retries, BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second}}
 	if *resume && *out == "" {
 		fmt.Fprintln(os.Stderr, "experiments: -resume requires -out")
-		os.Exit(1)
+		return 1
 	}
 
 	// Permanently failed jobs, collected across matrices so the suite
@@ -107,10 +156,12 @@ func main() {
 				} else {
 					fmt.Fprintln(os.Stderr, "experiments: interrupted")
 				}
-				os.Exit(130)
+				code = 130
+				return
 			}
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			code = 1
+			return
 		}
 		if len(failedMatrices) > 0 {
 			for _, fm := range failedMatrices {
@@ -121,7 +172,7 @@ func main() {
 				}
 			}
 			fmt.Fprintln(os.Stderr, "experiments: affected figure cells are zero-valued holes; re-run with -resume to retry failed jobs")
-			os.Exit(1)
+			code = 1
 		}
 	}()
 	if *verbose {
@@ -192,7 +243,7 @@ func main() {
 	}
 
 	order := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table5", "table6", "largepage", "batman"}
-	if *run == "all" {
+	if *target == "all" {
 		for _, name := range order {
 			if name == "fig6" {
 				continue // folded into fig5's matrix below
@@ -208,12 +259,13 @@ func main() {
 			}
 			targets[name](o)
 		}
-		return
+		return 0
 	}
-	f, ok := targets[*run]
+	f, ok := targets[*target]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "experiments: unknown target %q (valid: %s, all)\n", *run, strings.Join(order, ", "))
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "experiments: unknown target %q (valid: %s, all)\n", *target, strings.Join(order, ", "))
+		return 1
 	}
 	f(o)
+	return 0
 }

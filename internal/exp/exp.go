@@ -60,6 +60,12 @@ type Options struct {
 	// permanently failed jobs after it completes (skipped for clean
 	// matrices). ledger is the ledger file path, or "" without Out.
 	OnFailures func(matrix string, failed []runner.Record, ledger string)
+	// GangWidth, when ≥ 2, lets the batch engine execute that many
+	// gang-eligible jobs of a matrix (same workload stream and scheme
+	// kind, differing only by seed or back-end knobs) as one lockstep
+	// gang; results and checkpoint files are byte-identical to
+	// independent execution. 0 disables ganging.
+	GangWidth int
 }
 
 func (o Options) workloads() []string {
@@ -127,7 +133,8 @@ func run(o Options, m runner.Matrix) *runner.ResultSet {
 		ctx = context.Background()
 	}
 	eng := runner.Engine{Parallelism: o.Parallelism, Progress: o.Progress,
-		Retry: o.Retry, JobTimeout: o.JobTimeout, KeepGoing: o.KeepGoing}
+		Retry: o.Retry, JobTimeout: o.JobTimeout, KeepGoing: o.KeepGoing,
+		GangWidth: o.GangWidth}
 	ledger := ""
 	if o.Out != "" {
 		sink, err := runner.OpenSink(filepath.Join(o.Out, m.Name+".jsonl"), o.Resume)

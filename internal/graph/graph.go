@@ -171,11 +171,21 @@ func New(cfg Config) *Graph {
 // identical regardless of how many workers fill it.
 const buildChunk = 1 << 15
 
+// builds counts substrate constructions since process start; tests use
+// it to assert that shared consumers (batch worker queues, gang lanes)
+// dedupe builds instead of re-deriving the same graph.
+var builds atomic.Uint64
+
+// Builds returns how many times a graph substrate has actually been
+// built (cache hits and in-flight waits excluded).
+func Builds() uint64 { return builds.Load() }
+
 // build generates a graph from scratch.
 func build(cfg Config) *Graph {
 	if cfg.Vertices <= 0 || cfg.AvgDegree <= 0 {
 		panic(fmt.Sprintf("graph: bad config %+v", cfg))
 	}
+	builds.Add(1)
 	rng := util.NewRNG(cfg.Seed ^ 0x6AF4)
 	g := &Graph{Vertices: cfg.Vertices}
 	nEdges := cfg.Vertices * cfg.AvgDegree

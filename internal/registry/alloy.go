@@ -22,6 +22,7 @@ func init() {
 			}
 			return Spec{}, false
 		},
+		GangSafe: true,
 		Build: func(spec Spec, env Env) (mc.Scheme, error) {
 			p := spec.AlloyFillProb
 			if p == 0 {

@@ -10,21 +10,23 @@ import (
 // memory, respectively.
 func init() {
 	Register(Scheme{
-		Kind:    "nocache",
-		Names:   []string{"NoCache"},
-		Compare: []string{"NoCache"},
-		Rank:    0,
-		Parse:   exact("nocache", "NoCache"),
+		Kind:     "nocache",
+		Names:    []string{"NoCache"},
+		Compare:  []string{"NoCache"},
+		Rank:     0,
+		Parse:    exact("nocache", "NoCache"),
+		GangSafe: true,
 		Build: func(Spec, Env) (mc.Scheme, error) {
 			return schemes.NewNoCache(), nil
 		},
 	})
 	Register(Scheme{
-		Kind:    "cacheonly",
-		Names:   []string{"CacheOnly"},
-		Compare: []string{"CacheOnly"},
-		Rank:    60,
-		Parse:   exact("cacheonly", "CacheOnly"),
+		Kind:     "cacheonly",
+		Names:    []string{"CacheOnly"},
+		Compare:  []string{"CacheOnly"},
+		Rank:     60,
+		Parse:    exact("cacheonly", "CacheOnly"),
+		GangSafe: true,
 		Build: func(Spec, Env) (mc.Scheme, error) {
 			return schemes.NewCacheOnly(), nil
 		},

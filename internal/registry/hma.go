@@ -9,10 +9,11 @@ import (
 // periodically ranks and remaps hot pages.
 func init() {
 	Register(Scheme{
-		Kind:  "hma",
-		Names: []string{"HMA"},
-		Rank:  50,
-		Parse: exact("hma", "HMA"),
+		Kind:     "hma",
+		Names:    []string{"HMA"},
+		Rank:     50,
+		Parse:    exact("hma", "HMA"),
+		GangSafe: true,
 		Build: func(spec Spec, env Env) (mc.Scheme, error) {
 			cfg := hma.DefaultConfig(env.CapacityBytes)
 			if spec.HMAEpochAccesses > 0 {

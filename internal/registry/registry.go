@@ -84,6 +84,14 @@ type Scheme struct {
 	Parse func(name string) (Spec, bool)
 	// Build constructs the scheme instance for a parsed spec.
 	Build func(spec Spec, env Env) (mc.Scheme, error)
+	// GangSafe declares that instances built from this registration
+	// never touch the shared VM substrate (Env.PageTable / Env.TLBs) —
+	// the contract that lets N differently-seeded instances run in
+	// lockstep over one shared front-end replay (sim.Gang). Banshee is
+	// the canonical counter-example: it rewrites PTEs and shoots down
+	// TLBs, so its lanes would perturb each other's translations.
+	// Defaults to false, so out-of-tree schemes opt in explicitly.
+	GangSafe bool
 }
 
 // Modifier is a registered scheme wrapper selected by a name suffix.
@@ -224,6 +232,26 @@ func Comparison() []string {
 		out = append(out, s.Compare...)
 	}
 	return out
+}
+
+// GangSafe reports whether spec builds a scheme that may run as one
+// lane of a lockstep gang: the scheme's registration declares it never
+// touches the shared VM substrate, and no modifier is active on the
+// spec (modifiers wrap arbitrary behavior around a scheme, so an
+// active one voids the declaration).
+func GangSafe(spec Spec) bool {
+	mu.RLock()
+	defer mu.RUnlock()
+	i, ok := byKind[spec.Kind]
+	if !ok || !entries[i].GangSafe {
+		return false
+	}
+	for _, m := range modifiers {
+		if m.Active(spec) {
+			return false
+		}
+	}
+	return true
 }
 
 // Overlay returns parsed with any tuning knobs set on t taking

@@ -56,6 +56,33 @@ type Engine struct {
 	// Fault-injection seam: chaos harnesses wrap the default to
 	// inject panics, errors, and stalls around real simulations.
 	JobRunner JobRunner
+
+	// GangWidth, when ≥ 2, lets the engine execute up to that many
+	// adjacent gang-eligible jobs as one lockstep gang (sim.Gang):
+	// jobs sharing a scheme kind and front-end shape — same workload
+	// stream, differing only by seed or back-end knobs — amortize one
+	// shared front end across their lanes. Results are byte-identical
+	// to independent execution, so the sink, checkpoint/resume, the
+	// failure ledger, and content-key reuse all keep operating per
+	// job; a gang that fails for any reason falls back to running its
+	// members as independent supervised jobs. 0 and 1 disable ganging.
+	// A custom JobRunner also disables it (unless a GangRunner is set
+	// too), since gangs would bypass the override.
+	GangWidth int
+	// GangRunner overrides how a gang executes (nil = SimulateGang).
+	// Fault-injection seam, like JobRunner but gang-level.
+	GangRunner GangRunner
+}
+
+// gangWidth resolves the effective gang width for this run.
+func (e Engine) gangWidth() int {
+	if e.GangWidth < 2 {
+		return 1
+	}
+	if e.JobRunner != nil && e.GangRunner == nil {
+		return 1
+	}
+	return e.GangWidth
 }
 
 // Run executes the matrix and returns its indexed results. The sink's
@@ -185,7 +212,7 @@ func (e Engine) Run(ctx context.Context, m Matrix) (*ResultSet, error) {
 		}
 	}
 
-	q := newJobQueue(jobs, pending)
+	q := newJobQueue(jobs, pending, e.gangWidth())
 	workers := e.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -208,89 +235,155 @@ func (e Engine) Run(ctx context.Context, m Matrix) (*ResultSet, error) {
 					mu.Unlock()
 					return
 				}
-				i, wl, ok := q.nextLocked(own)
+				group, wl, ok := q.nextLocked(own)
 				if !ok {
 					mu.Unlock()
 					return
 				}
 				own = wl
-				id := jobs[i].ID
-				// Reuse or await an identical config instead of
-				// simulating it twice. A content key that already failed
-				// permanently fails this job too — the injected faults
-				// are keyed by the same ID, so an identical config would
-				// only fail identically.
-				reused := false
-				for {
-					if st, ok := byID[id]; ok {
-						rs.Cached++
-						completeLocked(i, st, "reuse")
-						reused = true
-						break
-					}
-					if jerr, ok := failedID[id]; ok {
-						shared := &errs.JobError{Coord: jobs[i].Coord(), ID: id,
-							Attempts: jerr.Attempts, Panicked: jerr.Panicked, Err: jerr.Err}
-						failLocked(i, shared)
-						reused = true
-						break
-					}
-					ch, busy := inflight[id]
-					if !busy {
-						break
-					}
-					mu.Unlock()
-					<-ch
-					mu.Lock()
-					if firstErr != nil {
+				// Resolve each member against known results first: reuse
+				// an identical completed config instead of simulating it
+				// twice, share a permanent failure (a content key that
+				// already failed permanently fails this job too — the
+				// injected faults are keyed by the same ID, so an
+				// identical config would only fail identically), or wait
+				// out an in-flight twin. What remains actually runs.
+				var todo []int
+				for _, i := range group {
+					id := jobs[i].ID
+					resolved := false
+					for {
+						if st, ok := byID[id]; ok {
+							rs.Cached++
+							completeLocked(i, st, "reuse")
+							resolved = true
+							break
+						}
+						if jerr, ok := failedID[id]; ok {
+							shared := &errs.JobError{Coord: jobs[i].Coord(), ID: id,
+								Attempts: jerr.Attempts, Panicked: jerr.Panicked, Err: jerr.Err}
+							failLocked(i, shared)
+							resolved = true
+							break
+						}
+						ch, busy := inflight[id]
+						if !busy {
+							break
+						}
 						mu.Unlock()
-						return
+						<-ch
+						mu.Lock()
+						if firstErr != nil {
+							mu.Unlock()
+							return
+						}
+					}
+					if !resolved {
+						todo = append(todo, i)
 					}
 				}
-				if reused {
+				if len(todo) == 0 {
 					mu.Unlock()
 					continue
 				}
-				ch := make(chan struct{})
-				inflight[id] = ch
-				mu.Unlock()
+				if len(todo) == 1 {
+					i := todo[0]
+					id := jobs[i].ID
+					ch := make(chan struct{})
+					inflight[id] = ch
+					mu.Unlock()
 
-				// Run the job supervised, under ctx so cancellation
-				// lands mid-job, not only between jobs: the session
-				// stops at its next step boundary and its partial stats
-				// are discarded here — only complete results ever reach
-				// the sink. Panics and per-attempt errors come back as
-				// one *errs.JobError after retries are exhausted.
-				st, err := e.runSupervised(ctx, jobs[i])
+					// Run the job supervised, under ctx so cancellation
+					// lands mid-job, not only between jobs: the session
+					// stops at its next step boundary and its partial stats
+					// are discarded here — only complete results ever reach
+					// the sink. Panics and per-attempt errors come back as
+					// one *errs.JobError after retries are exhausted.
+					st, err := e.runSupervised(ctx, jobs[i])
 
-				mu.Lock()
-				delete(inflight, id)
-				if err != nil {
-					var jerr *errs.JobError
-					if ctx.Err() == nil && errors.As(err, &jerr) && e.KeepGoing {
-						// Graceful degradation: ledger the failure and
-						// let the sweep finish everything else.
-						failedID[id] = jerr
-						failLocked(i, jerr)
+					mu.Lock()
+					delete(inflight, id)
+					if err != nil {
+						var jerr *errs.JobError
+						if ctx.Err() == nil && errors.As(err, &jerr) && e.KeepGoing {
+							// Graceful degradation: ledger the failure and
+							// let the sweep finish everything else.
+							failedID[id] = jerr
+							failLocked(i, jerr)
+							close(ch)
+							mu.Unlock()
+							continue
+						}
+						if firstErr == nil {
+							if ctx.Err() != nil {
+								firstErr = fmt.Errorf("runner: sweep cancelled: %w", ctx.Err())
+							} else {
+								firstErr = fmt.Errorf("runner: %w", err)
+							}
+						}
 						close(ch)
 						mu.Unlock()
-						continue
+						return
 					}
-					if firstErr == nil {
-						if ctx.Err() != nil {
-							firstErr = fmt.Errorf("runner: sweep cancelled: %w", ctx.Err())
-						} else {
-							firstErr = fmt.Errorf("runner: %w", err)
-						}
-					}
+					byID[id] = st
+					rs.Executed++
+					completeLocked(i, st, "done")
 					close(ch)
+					mu.Unlock()
+					continue
+				}
+
+				// Gang path: mark every member in-flight, run them as
+				// lanes of one lockstep gang, and complete them all from
+				// its per-lane results.
+				chans := make([]chan struct{}, len(todo))
+				members := make([]Job, len(todo))
+				for k, i := range todo {
+					ch := make(chan struct{})
+					inflight[jobs[i].ID] = ch
+					chans[k] = ch
+					members[k] = jobs[i]
+				}
+				mu.Unlock()
+
+				sts, gerr := e.runGang(ctx, members)
+
+				mu.Lock()
+				for _, i := range todo {
+					delete(inflight, jobs[i].ID)
+				}
+				if gerr == nil {
+					for k, i := range todo {
+						byID[jobs[i].ID] = sts[k]
+						rs.Executed++
+						completeLocked(i, sts[k], "gang")
+					}
+					for _, ch := range chans {
+						close(ch)
+					}
+					mu.Unlock()
+					continue
+				}
+				// A failed gang (panic, error, blown deadline) falls back
+				// to independent execution: release any waiters and
+				// requeue the members as singleton groups at the front of
+				// this workload's queue, restoring exactly the per-job
+				// retry/ledger/resume semantics of a non-gang run.
+				for _, ch := range chans {
+					close(ch)
+				}
+				if err := ctx.Err(); err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("runner: sweep cancelled: %w", err)
+					}
 					mu.Unlock()
 					return
 				}
-				byID[id] = st
-				rs.Executed++
-				completeLocked(i, st, "done")
-				close(ch)
+				if e.Progress != nil {
+					fmt.Fprintf(e.Progress, "%-6s %d-lane gang at %s: %v; retrying as independent jobs\n",
+						"gang!", len(todo), jobs[todo[0]].Coord(), gerr)
+				}
+				q.pushFrontSingles(wl, todo)
 				mu.Unlock()
 			}
 		}()
@@ -317,31 +410,58 @@ func (e Engine) Run(ctx context.Context, m Matrix) (*ResultSet, error) {
 	return rs, nil
 }
 
-// jobQueue is the pool's scheduling state: per-workload FIFO queues in
-// first-appearance order. Guarded by the engine's mutex.
+// jobQueue is the pool's scheduling state: per-workload FIFO queues of
+// job groups in first-appearance order. A group is one job, or — with
+// ganging enabled — up to gangWidth gang-eligible jobs sharing a
+// scheme kind and front-end shape, formed greedily over the pending
+// enumeration so groupmates stay enumeration-adjacent and the flush
+// frontier advances smoothly. Guarded by the engine's mutex.
 type jobQueue struct {
 	jobs    []Job
-	queues  map[string][]int
+	queues  map[string][][]int
 	order   []string
 	claimed map[string]bool
 }
 
-func newJobQueue(jobs []Job, pending []int) *jobQueue {
-	q := &jobQueue{jobs: jobs, queues: map[string][]int{}, claimed: map[string]bool{}}
+func newJobQueue(jobs []Job, pending []int, width int) *jobQueue {
+	q := &jobQueue{jobs: jobs, queues: map[string][][]int{}, claimed: map[string]bool{}}
+	// One open group per gang key; a full group, or a duplicate
+	// content ID (which must resolve through the inflight machinery,
+	// never sit twice in one gang), rolls the key over to a new group.
+	type openGroup struct {
+		w   string
+		idx int // index into q.queues[w]
+		ids map[string]bool
+	}
+	open := map[string]*openGroup{}
 	for _, i := range pending {
 		w := jobs[i].Workload
 		if _, seen := q.queues[w]; !seen {
 			q.order = append(q.order, w)
+			q.queues[w] = nil
 		}
-		q.queues[w] = append(q.queues[w], i)
+		if width >= 2 {
+			if key, ok := gangKey(jobs[i]); ok {
+				id := jobs[i].ID
+				if g := open[key]; g != nil && len(q.queues[g.w][g.idx]) < width && !g.ids[id] {
+					q.queues[g.w][g.idx] = append(q.queues[g.w][g.idx], i)
+					g.ids[id] = true
+					continue
+				}
+				q.queues[w] = append(q.queues[w], []int{i})
+				open[key] = &openGroup{w: w, idx: len(q.queues[w]) - 1, ids: map[string]bool{id: true}}
+				continue
+			}
+		}
+		q.queues[w] = append(q.queues[w], []int{i})
 	}
 	return q
 }
 
-// nextLocked hands the caller its next job: first from its own
+// nextLocked hands the caller its next job group: first from its own
 // workload's queue, then by claiming an unowned workload, and finally
 // by stealing from the back of the longest remaining queue.
-func (q *jobQueue) nextLocked(own string) (int, string, bool) {
+func (q *jobQueue) nextLocked(own string) ([]int, string, bool) {
 	if own != "" && len(q.queues[own]) > 0 {
 		return q.popFront(own), own, true
 	}
@@ -358,19 +478,29 @@ func (q *jobQueue) nextLocked(own string) (int, string, bool) {
 		}
 	}
 	if best == "" {
-		return 0, "", false
+		return nil, "", false
 	}
 	return q.popBack(best), best, true
 }
 
-func (q *jobQueue) popFront(w string) int {
-	idxs := q.queues[w]
-	q.queues[w] = idxs[1:]
-	return idxs[0]
+// pushFrontSingles requeues jobs as singleton groups at the front of
+// workload w's queue — the fallback path of a failed gang.
+func (q *jobQueue) pushFrontSingles(w string, idxs []int) {
+	groups := make([][]int, 0, len(idxs)+len(q.queues[w]))
+	for _, i := range idxs {
+		groups = append(groups, []int{i})
+	}
+	q.queues[w] = append(groups, q.queues[w]...)
 }
 
-func (q *jobQueue) popBack(w string) int {
-	idxs := q.queues[w]
-	q.queues[w] = idxs[:len(idxs)-1]
-	return idxs[len(idxs)-1]
+func (q *jobQueue) popFront(w string) []int {
+	groups := q.queues[w]
+	q.queues[w] = groups[1:]
+	return groups[0]
+}
+
+func (q *jobQueue) popBack(w string) []int {
+	groups := q.queues[w]
+	q.queues[w] = groups[:len(groups)-1]
+	return groups[len(groups)-1]
 }

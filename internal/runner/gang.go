@@ -1,0 +1,71 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+
+	"banshee/internal/sim"
+	"banshee/internal/stats"
+)
+
+// GangRunner executes a group of jobs as one lockstep gang, returning
+// one result per job in order. The engine's default builds a sim.Gang
+// over the jobs' configs (SimulateGang); chaos harnesses substitute
+// their own to inject gang-level faults and exercise the
+// retry-as-singles fallback.
+type GangRunner func(ctx context.Context, jobs []Job) ([]stats.Sim, error)
+
+// SimulateGang is the default GangRunner: one lane per job config,
+// driven to completion under ctx.
+func SimulateGang(ctx context.Context, jobs []Job) ([]stats.Sim, error) {
+	cfgs := make([]sim.Config, len(jobs))
+	for i, j := range jobs {
+		cfgs[i] = j.Config
+	}
+	g, err := sim.NewGang(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	return g.Run(ctx)
+}
+
+// gangKey returns the grouping key under which job may join a gang,
+// or ok=false when the job must run alone. Groupmates must agree on
+// the scheme kind (the gang stays within one scheme family, so a
+// failed gang's diagnosis stays legible) and on the shared front-end
+// shape sim.GangKey captures — jobs differing only by seed group iff
+// their configs pin WorkloadSeed, and same-seed sweep points group
+// whenever only back-end knobs vary.
+func gangKey(job Job) (string, bool) {
+	if sim.GangEligible(job.Config) != nil {
+		return "", false
+	}
+	return job.Config.Scheme.Kind + "\x00" + sim.GangKey(job.Config), true
+}
+
+// runGang executes one gang attempt under the engine's supervision:
+// panic isolation and the optional per-attempt deadline, mirroring
+// Engine.attempt. There is no gang-level retry — a failed gang falls
+// back to independent supervised jobs, which own the retry policy.
+func (e Engine) runGang(ctx context.Context, members []Job) (sts []stats.Sim, err error) {
+	run := e.GangRunner
+	if run == nil {
+		run = SimulateGang
+	}
+	if e.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.JobTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			sts, err = nil, &panicError{val: r, stack: debug.Stack()}
+		}
+	}()
+	sts, err = run(ctx, members)
+	if err == nil && len(sts) != len(members) {
+		sts, err = nil, fmt.Errorf("gang returned %d results for %d jobs", len(sts), len(members))
+	}
+	return sts, err
+}

@@ -86,6 +86,22 @@ type Config struct {
 	LargePages bool    // back every allocation with 2 MB pages
 
 	Seed uint64
+
+	// WorkloadSeed, when non-zero, seeds the workload stream
+	// independently of Seed (which keeps seeding the scheme and core
+	// timing models). Runs that differ only in Seed but share a
+	// WorkloadSeed replay the same reference stream, which is what lets
+	// a multi-seed sweep run as one lockstep gang (see Gang). 0 means
+	// the stream follows Seed, as it always has.
+	WorkloadSeed uint64 `json:",omitempty"`
+}
+
+// workloadSeed resolves the seed the workload stream is opened with.
+func (c Config) workloadSeed() uint64 {
+	if c.WorkloadSeed != 0 {
+		return c.WorkloadSeed
+	}
+	return c.Seed
 }
 
 // ScaleFactor is the default capacity/footprint scale-down vs the paper.

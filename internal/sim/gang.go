@@ -1,0 +1,648 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+
+	"banshee/internal/cache"
+	"banshee/internal/dram"
+	"banshee/internal/mem"
+	"banshee/internal/registry"
+	"banshee/internal/stats"
+	"banshee/internal/util"
+	"banshee/internal/vm"
+	"banshee/internal/workload"
+)
+
+// Gang execution (DESIGN.md §12): N simulations of the same workload
+// stream run in lockstep as lanes of one Gang. The insight is that for
+// schemes that never touch the shared VM substrate, everything up to
+// the L2 boundary — trace generation, TLB/page-table translation, and
+// the per-core L1/L2 caches — is a pure function of the per-core event
+// stream, independent of the lane's seed and back-end timing. The Gang
+// therefore runs that front end ONCE, records each event's back-end-
+// visible residue (gap, hit/miss bits, the L3 fill addresses the L2
+// victims produce, and the demand address of each LLC access), and
+// replays the residue through N exact per-lane back ends: per-lane L3,
+// scheme, DRAM timing, MSHR/dependence stalls, and the event-ordered
+// core scheduler. Every lane's statistics are byte-identical to the
+// same config run alone — the lane IS a System, reusing Step verbatim
+// — while the shared front end amortizes the majority of per-event
+// work across the gang.
+
+// Per-event flag bits recorded by the shared front end. An event
+// carries a residual record iff any of feFill0/feFill1/feL2Miss is set.
+const (
+	feTLBMiss = 1 << iota // translation missed the TLB (page-walk cost)
+	feL1Miss              // missed L1 → L2 accessed
+	feL2Miss              // missed L2 → LLC accessed (residual addr valid)
+	feLarge               // the access resolves on a 2 MB page
+	feWrite               // the demand access is a write
+	feFill0               // L1-evict cascade produced an L3 fill (fill[0])
+	feFill1               // the L2 victim produced an L3 fill (fill[1])
+
+	feHasRes = feFill0 | feFill1 | feL2Miss
+)
+
+// fillRec is one dirty line the shared front end pushed out of L2; each
+// lane fills it into its own L3.
+type fillRec struct {
+	addr mem.Addr
+	meta uint8
+}
+
+// resRec is the sparse per-event residue: the demand address (valid on
+// feL2Miss) and up to two L3 fills, in the exact order the independent
+// path would apply them (fill[0] from the L1-evict cascade through
+// l2.Fill, then — only on an L2 miss — fill[1] from the L2 victim).
+type resRec struct {
+	addr mem.Addr
+	fill [2]fillRec
+}
+
+// feCore is one core's shared front end: its private L1/L2/TLB replica
+// plus the recorded event stream in SoA form (gaps and flags dense,
+// residues sparse). base/resBase are the global indices of element 0 —
+// the stream is trimmed to the slowest lane's cursor as the gang
+// advances, so memory stays bounded by lane skew, not run length.
+type feCore struct {
+	l1, l2 *cache.Cache
+	tlb    *vm.TLB
+
+	gaps    []uint32
+	flags   []uint8
+	res     []resRec
+	base    uint64
+	resBase uint64
+	// genInstr counts instructions generated so far (Σ gap+1). Every
+	// lane consumes the same event prefix — retirement is purely
+	// gap-driven, so all lanes cross the per-core budget at the same
+	// event — which makes this the exact generate-ahead cap: events
+	// past the budget crossing would never be consumed by any lane.
+	genInstr uint64
+}
+
+// trimSlack is the trim hysteresis in events: prefixes shorter than
+// this stay in place so trimming costs amortized O(1) per event.
+const trimSlack = 8192
+
+// gangStream is the shared front end: one workload source, one page
+// table, and one feCore per simulated core, generating each core's
+// event residue on demand as the fastest lane reaches it.
+type gangStream struct {
+	src workload.Source
+	pt  *vm.PageTable
+	fe  []feCore
+	// budget is the per-core instruction budget (identical across lanes
+	// — InstrPerCore is part of GangKey); generation stops at the event
+	// that crosses it, which is the last event any lane consumes.
+	budget uint64
+
+	closed bool
+}
+
+// genAhead is the generation chunk: when the lead lane touches the end
+// of a core's generated stream, the front end materializes up to this
+// many further events at once so batchShared can replay runs of
+// core-private events even for the lane driving generation.
+const genAhead = 256
+
+// newGangStream builds the front end for base (the gang's shared
+// config shape) over an already-opened source.
+func newGangStream(base Config, cores int, src workload.Source) *gangStream {
+	pt := vm.NewPageTable()
+	pt.DefaultLarge = base.LargePages
+	g := &gangStream{src: src, pt: pt, fe: make([]feCore, cores), budget: base.InstrPerCore}
+	for i := 0; i < cores; i++ {
+		f := &g.fe[i]
+		f.l1 = cache.New(cache.Config{
+			Name: fmt.Sprintf("L1d-%d", i), SizeBytes: base.L1Bytes, Ways: base.L1Ways,
+			LineBytes: mem.LineBytes, Policy: cache.LRU, Seed: base.Seed + uint64(i),
+		})
+		f.l2 = cache.New(cache.Config{
+			Name: fmt.Sprintf("L2-%d", i), SizeBytes: base.L2Bytes, Ways: base.L2Ways,
+			LineBytes: mem.LineBytes, Policy: cache.LRU, Seed: base.Seed + uint64(i),
+		})
+		f.tlb = vm.NewTLB(base.TLBEntries)
+	}
+	return g
+}
+
+// gen simulates one more front-end event for core f, appending its
+// residue to the stream. The order of operations replicates
+// System.step up to the L3 boundary exactly, including the scratch-
+// eviction contract: l2.Fill's eviction is copied out before l2.Access
+// reuses the scratch slot.
+func (g *gangStream) gen(f *feCore, coreID int) {
+	ev := g.src.Next(coreID)
+	if uint64(ev.Gap) > math.MaxUint32 {
+		panic(fmt.Sprintf("sim: gang front end: event gap %d overflows the stream encoding", ev.Gap))
+	}
+	var flags uint8
+	var r resRec
+	pte, tlbHit := f.tlb.Lookup(ev.Addr, g.pt)
+	if !tlbHit {
+		flags |= feTLBMiss
+	}
+	meta := lineMeta(pte.Size)
+	if pte.Size == mem.Page2M {
+		flags |= feLarge
+	}
+	if ev.Write {
+		flags |= feWrite
+	}
+	if hit, ev1 := f.l1.Access(ev.Addr, ev.Write, meta); !hit {
+		flags |= feL1Miss
+		if ev1 != nil {
+			if evf := f.l2.Fill(ev1.Addr, true, ev1.Meta); evf != nil {
+				flags |= feFill0
+				r.fill[0] = fillRec{addr: evf.Addr, meta: evf.Meta}
+			}
+		}
+		if hit2, ev2 := f.l2.Access(ev.Addr, false, meta); !hit2 {
+			flags |= feL2Miss
+			r.addr = ev.Addr
+			if ev2 != nil {
+				flags |= feFill1
+				r.fill[1] = fillRec{addr: ev2.Addr, meta: ev2.Meta}
+			}
+		}
+	}
+	f.gaps = append(f.gaps, uint32(ev.Gap))
+	f.flags = append(f.flags, flags)
+	f.genInstr += uint64(ev.Gap) + 1
+	if flags&feHasRes != 0 {
+		f.res = append(f.res, r)
+	}
+}
+
+// event returns core coreID's event at the lane cursor c, generating
+// it first if no lane has reached it yet. r is non-nil iff the event
+// carries a residual record (feHasRes).
+func (g *gangStream) event(c *core) (gap uint32, flags uint8, r *resRec) {
+	f := &g.fe[c.id]
+	i := c.evIdx - f.base
+	for i >= uint64(len(f.gaps)) {
+		g.gen(f, c.id)
+	}
+	// Generate ahead in chunks: every lane consumes the same event
+	// prefix (retirement is purely gap-driven, so all lanes cross the
+	// per-core budget at the same event), hence anything generated under
+	// the budget will be consumed. Materializing a chunk here lets the
+	// lead lane batch-replay runs instead of generating one event per
+	// step; trailing lanes see the events regardless.
+	for uint64(len(f.gaps))-i < genAhead && f.genInstr < g.budget {
+		g.gen(f, c.id)
+	}
+	gap, flags = f.gaps[i], f.flags[i]
+	if flags&feHasRes != 0 {
+		r = &f.res[c.resIdx-f.resBase]
+	}
+	return gap, flags, r
+}
+
+// trim drops stream prefixes every lane has consumed, keeping gang
+// memory proportional to lane skew (bounded by the step quantum)
+// instead of run length.
+func (g *gangStream) trim(lanes []*System) {
+	for ci := range g.fe {
+		f := &g.fe[ci]
+		minEv, minRes := ^uint64(0), ^uint64(0)
+		for _, l := range lanes {
+			c := l.cores[ci]
+			if c.evIdx < minEv {
+				minEv = c.evIdx
+			}
+			if c.resIdx < minRes {
+				minRes = c.resIdx
+			}
+		}
+		if k := minEv - f.base; k >= trimSlack {
+			f.gaps = f.gaps[:copy(f.gaps, f.gaps[k:])]
+			f.flags = f.flags[:copy(f.flags, f.flags[k:])]
+			f.base = minEv
+		}
+		if kr := minRes - f.resBase; kr >= trimSlack/4 {
+			f.res = f.res[:copy(f.res, f.res[kr:])]
+			f.resBase = minRes
+		}
+	}
+}
+
+// close releases the shared source; idempotent.
+func (g *gangStream) close() {
+	if g.closed {
+		return
+	}
+	g.closed = true
+	if c, ok := g.src.(io.Closer); ok {
+		c.Close()
+	}
+}
+
+// stepShared is the gang-lane body of System.step: it replays one
+// recorded front-end event through this lane's back end, preserving
+// the independent path's exact operation order — retirement and clock
+// arithmetic, page-walk charge, counter increments, the two possible
+// L3 fills, the LLC access, and the miss path with MSHR and
+// dependence-stall behavior (the lane's own RNG draws in its own miss
+// order, exactly as an independent run would).
+func (s *System) stepShared(c *core) {
+	gap, flags, r := s.shared.event(c)
+	c.evIdx++
+	c.fract += int(gap)
+	c.time += uint64(c.fract / s.cfg.IssueWidth)
+	c.fract %= s.cfg.IssueWidth
+	c.retired += uint64(gap) + 1
+
+	if flags&feTLBMiss != 0 {
+		c.time += s.cost.PageWalkCycles
+	}
+	size := mem.Page4K
+	if flags&feLarge != 0 {
+		size = mem.Page2M
+	}
+	s.st.L1Accesses++
+	if flags&feL1Miss == 0 {
+		return
+	}
+	if r != nil {
+		c.resIdx++
+	}
+	s.st.L1Misses++
+	if flags&feFill0 != 0 {
+		s.fillL3(c, r.fill[0].addr, true, r.fill[0].meta)
+	}
+	s.st.L2Accesses++
+	if flags&feL2Miss == 0 {
+		return
+	}
+	s.st.L2Misses++
+	if flags&feFill1 != 0 {
+		s.fillL3(c, r.fill[1].addr, true, r.fill[1].meta)
+	}
+	s.st.LLCAccesses++
+	if hit3, ev3 := s.l3.Access(r.addr, false, lineMeta(size)); !hit3 {
+		if ev3 != nil {
+			s.evictToMC(c, ev3)
+		}
+		// The zero-valued PTE fields reproduce what an inert-scheme
+		// independent run passes here: gang-safe schemes never set
+		// Cached/Way, so only Size matters. pte.Mapping() is identical.
+		s.llcMiss(c, r.addr, flags&feWrite != 0, vm.PTE{Size: size})
+	}
+}
+
+// batchShared replays, in one aggregate update, the run of already-
+// generated events at c's cursor that touch no lane state beyond
+// counters and the core clock: L1 hits, and L2 hits whose L1-evict
+// cascade produced no L3 fill (flags clear of feFill0|feL2Miss — such
+// events carry no residual record and never reach the lane's L3).
+//
+// Identity argument: for these events the per-event updates are
+// exactly associative — the clock advance over k events with gap sum G
+// is (fract+G) div/mod IssueWidth plus one PageWalkCycles charge per
+// TLB miss, retirement is G+k, and the counter bumps are sums — so the
+// aggregate equals the event-by-event replay bit for bit. Reordering
+// against other cores inside the batch window cannot be observed:
+// these events read nothing lane-global and Step's only mid-run global
+// sequence points are the warmup mark and epoch samples, so batching
+// is disabled until the warmup mark has been captured (or WarmupFrac
+// is 0, when no mark is ever taken) and whenever an epoch callback is
+// installed. The scan stops at the first event with lane-side L3 work,
+// at the end of the generated stream (never forcing generation), and
+// at the per-core budget exactly where Step would stop scheduling the
+// core.
+func (s *System) batchShared(c *core) {
+	if s.epochFn != nil || (!s.warmed && s.warmTarget > 0) {
+		return
+	}
+	f := &s.shared.fe[c.id]
+	i := c.evIdx - f.base
+	n := uint64(len(f.gaps))
+	var k, l1m, walks, gapSum uint64
+	for i < n && c.retired+gapSum+k < s.cfg.InstrPerCore {
+		fl := f.flags[i]
+		if fl&(feFill0|feL2Miss) != 0 {
+			break
+		}
+		gapSum += uint64(f.gaps[i])
+		k++
+		if fl&feTLBMiss != 0 {
+			walks++
+		}
+		if fl&feL1Miss != 0 {
+			l1m++
+		}
+		i++
+	}
+	if k == 0 {
+		return
+	}
+	c.evIdx += k
+	total := uint64(c.fract) + gapSum
+	iw := uint64(s.cfg.IssueWidth)
+	c.time += total/iw + walks*s.cost.PageWalkCycles
+	c.fract = int(total % iw)
+	c.retired += gapSum + k
+	s.st.L1Accesses += k
+	s.st.L1Misses += l1m
+	s.st.L2Accesses += l1m
+}
+
+// GangEligible reports whether cfg can run as a lane of a lockstep
+// gang, returning nil or the disqualifying reason. Two conditions: the
+// scheme must be registered gang-safe (it never touches the shared VM
+// substrate — see registry.Scheme.GangSafe), and the prefetcher must
+// be off (prefetch issue decisions depend on per-lane core clocks, so
+// a shared front end cannot replay them).
+func GangEligible(cfg Config) error {
+	if cfg.PrefetchDegree != 0 {
+		return fmt.Errorf("sim: gang: PrefetchDegree %d is lane-variant (prefetch timing depends on per-lane clocks); only 0 is gang-eligible", cfg.PrefetchDegree)
+	}
+	if !registry.GangSafe(cfg.Scheme) {
+		return fmt.Errorf("sim: gang: scheme kind %q is not registered gang-safe (it may touch the shared VM substrate)", cfg.Scheme.Kind)
+	}
+	return nil
+}
+
+// GangKey is the shared-front-end shape of cfg: two configs can run as
+// lanes of the same gang iff their keys are equal (and both are
+// GangEligible). The key covers everything the shared front end
+// depends on — the workload stream identity (name, cores, effective
+// workload seed, scale, intensity), the VM substrate (large pages),
+// the L1/L2/TLB geometry, and the per-core instruction budget (which
+// fixes how many events each core consumes). Everything back-end —
+// Seed, scheme tuning, L3 geometry, DRAM knobs, CPUMHz, IssueWidth,
+// MSHRs, DepStallFrac, WarmupFrac — may vary per lane.
+func GangKey(cfg Config) string {
+	return fmt.Sprintf("%s|c%d|ws%d|sc%g|in%g|lp%t|l1:%d/%d|l2:%d/%d|tlb%d|n%d",
+		cfg.Workload, cfg.Cores, cfg.workloadSeed(), cfg.Scale, cfg.Intensity,
+		cfg.LargePages, cfg.L1Bytes, cfg.L1Ways, cfg.L2Bytes, cfg.L2Ways,
+		cfg.TLBEntries, cfg.InstrPerCore)
+}
+
+// Gang is a set of simulations (lanes) advancing in lockstep over one
+// shared front-end replay. Each lane is a full System producing
+// statistics byte-identical to the same config run alone; the gang
+// owns the shared workload source and the recorded stream. Like
+// Session, a Gang is a single-goroutine object.
+type Gang struct {
+	lanes  []*System
+	gs     *gangStream
+	runErr error
+	done   bool
+}
+
+// NewGang assembles one lane per config. All configs must be
+// GangEligible, share one GangKey, and name the same scheme kind; a
+// multi-seed gang must therefore set WorkloadSeed so the lanes share a
+// stream (NewGangSeeds does this for you).
+func NewGang(cfgs []Config) (*Gang, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("sim: gang needs at least one lane config")
+	}
+	for i := range cfgs {
+		if err := cfgs[i].validate(); err != nil {
+			return nil, err
+		}
+		if err := GangEligible(cfgs[i]); err != nil {
+			return nil, fmt.Errorf("lane %d: %w", i, err)
+		}
+	}
+	key, kind := GangKey(cfgs[0]), cfgs[0].Scheme.Kind
+	for i := 1; i < len(cfgs); i++ {
+		if cfgs[i].Scheme.Kind != kind {
+			return nil, fmt.Errorf("sim: gang lanes mix scheme kinds %q and %q", kind, cfgs[i].Scheme.Kind)
+		}
+		if GangKey(cfgs[i]) != key {
+			return nil, fmt.Errorf(
+				"sim: gang lane %d front-end shape %q differs from lane 0 %q (multi-seed gangs must share Config.WorkloadSeed)",
+				i, GangKey(cfgs[i]), key)
+		}
+	}
+	base := cfgs[0]
+	src, err := workload.Open(base.Workload, workload.Config{
+		Cores: base.Cores, Seed: base.workloadSeed(), Scale: base.Scale, Intensity: base.Intensity,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cores := base.Cores
+	if cores == 0 {
+		cores = src.Cores()
+	}
+	gs := newGangStream(base, cores, src)
+	g := &Gang{gs: gs}
+	for i := range cfgs {
+		cfg := cfgs[i]
+		cfg.Cores = cores
+		lane, err := newGangLane(cfg, gs)
+		if err != nil {
+			gs.close()
+			return nil, fmt.Errorf("sim: gang lane %d: %w", i, err)
+		}
+		g.lanes = append(g.lanes, lane)
+	}
+	return g, nil
+}
+
+// NewGangSeeds is the common case: one config replicated across seeds,
+// run as a gang. The scheme display name resolves exactly as
+// NewSession's does. When cfg.WorkloadSeed is zero it is pinned to
+// cfg.Seed (or the first seed) so all lanes share the stream — set it
+// explicitly to choose the stream independently of the seeds.
+func NewGangSeeds(cfg Config, workloadName, scheme string, seeds []uint64) (*Gang, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("sim: gang needs at least one seed")
+	}
+	spec, err := ResolveScheme(scheme, cfg.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Workload = workloadName
+	cfg.Scheme = spec
+	if cfg.WorkloadSeed == 0 {
+		if cfg.Seed != 0 {
+			cfg.WorkloadSeed = cfg.Seed
+		} else {
+			cfg.WorkloadSeed = seeds[0]
+		}
+	}
+	cfgs := make([]Config, len(seeds))
+	for i, sd := range seeds {
+		c := cfg
+		c.Seed = sd
+		cfgs[i] = c
+	}
+	return NewGang(cfgs)
+}
+
+// newGangLane assembles one lane: a System without its own front end —
+// no workload source of its own, no per-core L1/L2/TLB, no page table
+// — wired to the gang's shared stream. Gang-safe schemes never touch
+// the VM substrate, so the scheme builds against a nil page table and
+// TLB set.
+func newGangLane(cfg Config, gs *gangStream) (*System, error) {
+	s := &System{
+		cfg:    cfg,
+		work:   gs.src,
+		shared: gs,
+		rng:    util.NewRNG(cfg.Seed ^ 0x51A1),
+		cost:   vm.DefaultCostModel(cfg.CPUMHz),
+	}
+	s.l3 = cache.New(cache.Config{
+		Name: "L3", SizeBytes: cfg.L3Bytes, Ways: cfg.L3Ways,
+		LineBytes: mem.LineBytes, Policy: cache.LRU, Seed: cfg.Seed,
+	})
+	for i := 0; i < cfg.Cores; i++ {
+		s.cores = append(s.cores, &core{id: i})
+	}
+	scheme, err := buildScheme(cfg, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.scheme = scheme
+	inCfg, offCfg := dramConfigs(cfg)
+	s.inPkg = dram.New(inCfg)
+	s.offPkg = dram.New(offCfg)
+	s.st.Workload = cfg.Workload
+	s.st.Scheme = scheme.Name()
+	s.totalBudget = cfg.InstrPerCore * uint64(len(s.cores))
+	s.warmTarget = uint64(float64(s.totalBudget) * cfg.WarmupFrac)
+	// Latched replay failures surface through the shared source: every
+	// lane binds the same surfaces, so a corrupt or wrapped stream
+	// fails all lanes with the same typed error an independent run of
+	// the same config would report.
+	if e, ok := gs.src.(interface{ Err() error }); ok {
+		s.srcErr = e.Err
+	}
+	if wr, ok := gs.src.(interface{ Wrapped() bool }); ok {
+		s.srcWrapped = wr.Wrapped
+	}
+	return s, nil
+}
+
+// Width returns the number of lanes.
+func (g *Gang) Width() int { return len(g.lanes) }
+
+// Step advances every unfinished lane by at least n retired
+// instructions in lockstep, then trims the shared stream to the
+// slowest lane. done reports all lanes complete. Errors (a failed
+// shared stream, a cancelled Run) are terminal for the whole gang.
+func (g *Gang) Step(n uint64) (done bool, err error) {
+	if g.runErr != nil {
+		return false, g.runErr
+	}
+	if g.done {
+		return true, nil
+	}
+	all := true
+	for _, l := range g.lanes {
+		laneDone, err := l.Step(n)
+		if err != nil {
+			g.fail(err)
+			return false, g.runErr
+		}
+		if !laneDone {
+			all = false
+		}
+	}
+	g.gs.trim(g.lanes)
+	if all {
+		g.done = true
+		g.gs.close()
+	}
+	return all, nil
+}
+
+// fail terminates the gang: every still-running lane fails with err
+// and the shared source is released.
+func (g *Gang) fail(err error) {
+	if g.runErr == nil {
+		g.runErr = err
+	}
+	for _, l := range g.lanes {
+		if !l.finished {
+			l.fail(err)
+		}
+	}
+	g.gs.close()
+}
+
+// Run drives all lanes to completion under ctx and returns one final
+// stats.Sim per lane, in lane order. Cancellation mirrors
+// Session.Run: the gang stops at the next step boundary, releases its
+// resources, and returns the partial per-lane windows together with
+// an error wrapping ctx.Err().
+func (g *Gang) Run(ctx context.Context) ([]stats.Sim, error) {
+	for {
+		if g.runErr != nil {
+			return g.Results(), g.runErr
+		}
+		if g.done {
+			return g.Results(), nil
+		}
+		if err := ctx.Err(); err != nil {
+			p := g.Progress()
+			werr := fmt.Errorf("sim: gang run cancelled after %d of %d instructions: %w",
+				p.Retired, p.Total, err)
+			g.fail(werr)
+			return g.Results(), werr
+		}
+		if _, err := g.Step(stepQuantum); err != nil {
+			return g.Results(), err
+		}
+	}
+}
+
+// Results returns one stats.Sim per lane: the final measurement window
+// for completed lanes, the current partial window otherwise.
+func (g *Gang) Results() []stats.Sim {
+	out := make([]stats.Sim, len(g.lanes))
+	for i, l := range g.lanes {
+		if l.finished && l.runErr == nil {
+			out[i] = l.final
+		} else {
+			out[i] = l.Snapshot().Window
+		}
+	}
+	return out
+}
+
+// Progress aggregates lane progress: instructions retired and budget
+// summed over lanes, the furthest simulated clock, and the least-
+// advanced lifecycle phase.
+func (g *Gang) Progress() Progress {
+	var p Progress
+	p.Phase = stats.PhaseDone
+	for _, l := range g.lanes {
+		lp := l.Progress()
+		p.Retired += lp.Retired
+		p.Total += lp.Total
+		if lp.Cycles > p.Cycles {
+			p.Cycles = lp.Cycles
+		}
+		if lp.Phase < p.Phase {
+			p.Phase = lp.Phase
+		}
+	}
+	return p
+}
+
+// LaneSnapshot captures lane i's current measurement window; see
+// System.Snapshot for windowing semantics.
+func (g *Gang) LaneSnapshot(i int) stats.Snapshot { return g.lanes[i].Snapshot() }
+
+// Err returns the gang's terminal error, if any.
+func (g *Gang) Err() error { return g.runErr }
+
+// Close releases the gang's resources (the shared workload source).
+// Completed and failed gangs release themselves; Close is for
+// abandoning a gang early. Idempotent.
+func (g *Gang) Close() error {
+	g.gs.close()
+	return nil
+}

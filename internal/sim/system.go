@@ -31,6 +31,11 @@ type core struct {
 	l1, l2   *cache.Cache
 	tlb      *vm.TLB
 	prefetch *Prefetcher // nil when disabled
+
+	// Gang lane cursors into the shared front-end stream (gang.go).
+	// Unused (zero) on the independent N=1 path.
+	evIdx  uint64 // next event index in this core's shared stream
+	resIdx uint64 // next residual record in this core's shared stream
 }
 
 // System is a fully assembled simulation. Build with NewSystem, drive
@@ -48,6 +53,12 @@ type System struct {
 	offPkg *dram.DRAM
 	rng    *util.RNG
 	cost   vm.CostModel
+
+	// shared, when non-nil, marks this System as one lane of a lockstep
+	// gang: events come from the gang's shared front-end replay instead
+	// of s.work, and the source's lifetime belongs to the Gang, not the
+	// lane. The independent path is untouched when nil.
+	shared *gangStream
 
 	st       stats.Sim
 	warmed   bool
@@ -102,7 +113,7 @@ func NewSystem(cfg Config) (*System, error) {
 	// callers need not know it up front (synthetic sources require an
 	// explicit count and reject 0).
 	w, err := workload.Open(cfg.Workload, workload.Config{
-		Cores: cfg.Cores, Seed: cfg.Seed, Scale: cfg.Scale, Intensity: cfg.Intensity,
+		Cores: cfg.Cores, Seed: cfg.workloadSeed(), Scale: cfg.Scale, Intensity: cfg.Intensity,
 	})
 	if err != nil {
 		return nil, err
@@ -280,7 +291,12 @@ func (s *System) Step(n uint64) (done bool, err error) {
 	}
 	target := s.totalRetired + n
 	for len(s.h) > 0 && s.totalRetired < target {
-		c := s.h.pop()
+		// Fused pop-push: step the heap top in place and sift it down,
+		// instead of pop → step → push. The (time, id) key is unique, so
+		// re-keying the root and sifting selects the same next core as a
+		// full pop/push cycle would — the event order is identical — at
+		// half the heap traffic.
+		c := s.h[0]
 		if c.pending > 0 {
 			c.time += c.pending
 			c.pending = 0
@@ -301,8 +317,9 @@ func (s *System) Step(n uint64) (done bool, err error) {
 		}
 		if c.retired >= s.cfg.InstrPerCore {
 			c.done = true
+			s.h.pop()
 		} else {
-			s.h.push(c)
+			s.h.siftDown(0)
 		}
 	}
 	if err := s.sourceErr(); err != nil {
@@ -349,12 +366,18 @@ func (s *System) finish() {
 }
 
 // closeSource releases a source holding external resources (replayed
-// trace files); idempotent.
+// trace files); idempotent. A gang lane's source is shared with its
+// sibling lanes and owned by the Gang, which closes it once all lanes
+// are done — a single lane finishing must not pull it out from under
+// the others.
 func (s *System) closeSource() {
 	if s.closed {
 		return
 	}
 	s.closed = true
+	if s.shared != nil {
+		return
+	}
 	if c, ok := s.work.(io.Closer); ok {
 		c.Close()
 	}
@@ -494,6 +517,11 @@ func (s *System) fireEpoch() {
 
 // step advances one core by one trace event.
 func (s *System) step(c *core) {
+	if s.shared != nil {
+		s.stepShared(c)
+		s.batchShared(c)
+		return
+	}
 	ev := s.work.Next(c.id)
 	// Non-memory instructions retire at IssueWidth.
 	c.fract += ev.Gap
@@ -573,8 +601,12 @@ func (s *System) llcMiss(c *core, a mem.Addr, write bool, pte vm.PTE) {
 	s.st.LLCMisses++
 	// Retire completed misses; if the window is full, stall to the
 	// earliest completion. drain keeps outMin current, so the stall
-	// target is O(1) instead of a scan over the MSHR window.
-	c.drain()
+	// target is O(1) instead of a scan over the MSHR window, and the
+	// scan itself is skipped while the earliest outstanding completion
+	// is still in the future (it would remove nothing).
+	if len(c.outstanding) > 0 && c.outMin <= c.time {
+		c.drain()
+	}
 	if len(c.outstanding) >= s.cfg.MSHRs {
 		if c.outMin > c.time {
 			c.time = c.outMin

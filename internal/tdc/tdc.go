@@ -39,13 +39,21 @@ type entry struct {
 type TDC struct {
 	capacity int // pages
 	// pages is a flat open-addressed residency table (page → entry);
-	// sized for capacity up front, it never grows or allocates once the
-	// cache is full — victims' entries are recycled for the newcomers.
-	pages     util.Flat64[*entry]
+	// entries are stored by value, so an access is one probe with no
+	// pointer chase, and the table never allocates once the cache is
+	// full — victim slots are reclaimed for the newcomers.
+	pages     util.Flat64[entry]
 	fifo      []uint64 // ring buffer of resident pages in insertion order
 	head      int
 	count     uint64
 	footprint mc.FootprintTracker
+
+	// memo short-circuits the residency probe for back-to-back accesses
+	// to one page (streaming scans walk a page's lines consecutively).
+	// The cached pointer is invalidated by any table mutation (insert),
+	// which is the only thing that can move or retire a slot.
+	memoPage uint64
+	memoE    *entry
 
 	// ops is the scratch buffer reused by every Access (see the
 	// ownership note on mc.Result).
@@ -63,7 +71,7 @@ func New(cfg Config) *TDC {
 	}
 	return &TDC{
 		capacity: cap,
-		pages:    *util.NewFlat64[*entry](cap),
+		pages:    *util.NewFlat64[entry](cap),
 		fifo:     make([]uint64, 0, cap),
 	}
 }
@@ -76,7 +84,11 @@ func (t *TDC) Access(req mem.Request) mc.Result {
 	t.ops = t.ops[:0]
 	addr := mem.LineAddr(req.Addr)
 	page := mem.PageNum(addr)
-	e, _ := t.pages.Get(page)
+	e := t.memoE
+	if e == nil || page != t.memoPage {
+		e = t.pages.GetPtr(page)
+		t.memoPage, t.memoE = page, e
+	}
 	li := mem.LineInPage(addr)
 
 	if req.Eviction {
@@ -108,10 +120,9 @@ func (t *TDC) Access(req mem.Request) mc.Result {
 // insert places a page, evicting the FIFO head if full, appending the
 // background replacement ops to t.ops.
 func (t *TDC) insert(page uint64, demand mem.Addr) {
-	var e *entry
 	if len(t.fifo) >= t.capacity {
 		victim := t.fifo[t.head]
-		ve, _ := t.pages.Get(victim)
+		ve := t.pages.GetPtr(victim)
 		t.footprint.Record(ve.touched.Count())
 		if n := ve.dirty.Count(); n > 0 {
 			va := mem.PageBase(victim)
@@ -123,12 +134,8 @@ func (t *TDC) insert(page uint64, demand mem.Addr) {
 		t.pages.Delete(victim)
 		t.fifo[t.head] = page
 		t.head = (t.head + 1) % t.capacity
-		// Recycle the victim's entry for the incoming page: once at
-		// capacity, the pages map stops allocating.
-		e = ve
 	} else {
 		t.fifo = append(t.fifo, page)
-		e = &entry{}
 	}
 	fp := t.footprint.Lines()
 	if fill := (fp - 1) * mem.LineBytes; fill > 0 {
@@ -137,9 +144,10 @@ func (t *TDC) insert(page uint64, demand mem.Addr) {
 	t.ops = append(t.ops, mem.Op{Target: mem.InPackage, Addr: demand, Bytes: fp * mem.LineBytes, Write: true, Class: mem.ClassReplacement, Stage: 1})
 	t.count++
 	t.fills++
-	*e = entry{fifoPos: t.count}
+	e := entry{fifoPos: t.count}
 	e.touched.Set(mem.LineInPage(demand))
 	t.pages.Put(page, e)
+	t.memoE = nil // Put/Delete may have moved or retired the memo slot
 }
 
 // FillStats implements mc.Scheme.

@@ -88,6 +88,23 @@ func (m *Flat64[V]) Get(k uint64) (V, bool) {
 	}
 }
 
+// GetPtr returns a pointer to k's value for in-place read-modify-write,
+// or nil if k is absent. Unlike Ptr it never inserts. The pointer is
+// valid only until the next Put, Ptr, or Delete.
+func (m *Flat64[V]) GetPtr(k uint64) *V {
+	if m.n == 0 {
+		return nil
+	}
+	for i := m.home(k); ; i = (i + 1) & m.mask {
+		if !m.used[i] {
+			return nil
+		}
+		if m.keys[i] == k {
+			return &m.vals[i]
+		}
+	}
+}
+
 // Put stores v under k, replacing any existing value.
 func (m *Flat64[V]) Put(k uint64, v V) {
 	*m.slot(k) = v
