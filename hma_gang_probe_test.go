@@ -1,0 +1,37 @@
+package banshee_test
+
+import (
+	"testing"
+
+	"banshee"
+)
+
+func TestHMAGangIdentityProbe(t *testing.T) {
+	for _, w := range []string{"mcf", "pagerank_kernel"} {
+		cfg := banshee.DefaultConfig()
+		cfg.Cores = 4
+		cfg.InstrPerCore = 200_000
+		cfg.Seed = 42
+		cfg.WorkloadSeed = 42
+		seeds := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+		g, err := banshee.NewGangSession(cfg, w, "HMA", seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := g.Run(t.Context())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, seed := range seeds {
+			c := cfg
+			c.Seed = seed
+			want, err := banshee.Run(c, w, "HMA")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[i] != want {
+				t.Errorf("%s lane %d (seed %d) diverged\n gang: %+v\n solo: %+v", w, i, seed, got[i], want)
+			}
+		}
+	}
+}
