@@ -9,6 +9,10 @@
 # independent sweep throughput comparison (PERFORMANCE.md "Pass 3").
 BENCHES := BenchmarkEndToEnd$$|BenchmarkSRAMCache$$|BenchmarkTagBuffer$$|BenchmarkBansheeAccess$$|BenchmarkDRAMAccess$$|BenchmarkTraceGen$$|BenchmarkGangSweep$$
 
+# Stamped into captured BENCH files so a committed baseline records the
+# commit that produced it ("unknown" outside a git checkout).
+GIT_SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
+
 .PHONY: test bench bench-check
 
 test:
@@ -20,7 +24,7 @@ test:
 # instead of silently writing a partial baseline (sh has no pipefail).
 bench:
 	go test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime 1s -count 1 . > /tmp/bench_run.txt
-	go run ./cmd/benchjson < /tmp/bench_run.txt > /tmp/bench_new.json
+	go run ./cmd/benchjson -sha $(GIT_SHA) < /tmp/bench_run.txt > /tmp/bench_new.json
 	mv /tmp/bench_new.json BENCH_6.json
 	@cat BENCH_6.json
 

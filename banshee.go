@@ -70,6 +70,14 @@
 // *.failed.jsonl ledger, surface through BatchResult.Failed, and are
 // retried automatically when the sweep is resumed.
 //
+// A batch is observable while it runs: BatchOptions.MetricsAddr serves
+// live job/retry/gang/epoch telemetry over HTTP (Prometheus text and
+// JSON /metrics, /debug/vars, pprof), BatchOptions.TraceFile records
+// the sweep timeline as Chrome trace_event JSON, and
+// BatchOptions.ProgressEvery condenses per-job progress lines into
+// rate-limited summaries. All of it is opt-in; a plain batch pays
+// nothing for the instrumentation seams.
+//
 //	m := banshee.Matrix{Name: "sweep", Base: banshee.DefaultConfig(),
 //		Workloads: banshee.Workloads(), Schemes: banshee.Schemes()}
 //	rs, err := banshee.RunBatch(ctx, m, banshee.BatchOptions{Out: "sweep.jsonl", Resume: true})
@@ -111,6 +119,7 @@ import (
 
 	"banshee/internal/errs"
 	"banshee/internal/mc"
+	"banshee/internal/obs"
 	"banshee/internal/registry"
 	"banshee/internal/runner"
 	"banshee/internal/sim"
@@ -391,6 +400,29 @@ type BatchOptions struct {
 	// handling are byte-identical to independent execution; a failed
 	// gang automatically retries its jobs independently. 0 disables.
 	GangWidth int
+
+	// MetricsAddr, when non-empty ("host:port", ":6060"), serves live
+	// sweep telemetry over HTTP for the duration of the batch:
+	// Prometheus text and JSON on /metrics, JSON on /debug/vars, and
+	// net/http/pprof on /debug/pprof. The series cover job states,
+	// attempts/retries, worker occupancy, gang shape, checkpoint flush
+	// lag, and the per-epoch simulation time series; counters sum
+	// consistently with the batch's emitted results. Empty disables all
+	// metric collection (the default costs nothing).
+	MetricsAddr string
+	// TraceFile, when non-empty, records the sweep timeline (workers ×
+	// jobs × attempts × gangs) and writes it to this path as Chrome
+	// trace_event JSON when the batch ends — openable in
+	// chrome://tracing or Perfetto.
+	TraceFile string
+	// ProgressEvery, when positive with Progress set, replaces per-job
+	// progress lines with one rate-limited sweep summary line per
+	// interval (position, throughput, ETA).
+	ProgressEvery time.Duration
+	// EpochEvery sets the metric time-series sampling interval in
+	// retired instructions (0 = a sensible default). Only meaningful
+	// with MetricsAddr set.
+	EpochEvery uint64
 }
 
 // RunBatch executes a matrix of simulations on the batch engine with
@@ -406,7 +438,20 @@ type BatchOptions struct {
 func RunBatch(ctx context.Context, m Matrix, o BatchOptions) (*BatchResult, error) {
 	eng := runner.Engine{Parallelism: o.Parallelism, Progress: o.Progress,
 		Retry: o.Retry, JobTimeout: o.JobTimeout, KeepGoing: o.KeepGoing,
-		GangWidth: o.GangWidth}
+		GangWidth: o.GangWidth, ProgressEvery: o.ProgressEvery, EpochEvery: o.EpochEvery}
+	if o.MetricsAddr != "" {
+		reg := obs.NewRegistry()
+		reg.RegisterRuntime()
+		srv, err := obs.Serve(o.MetricsAddr, reg)
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		eng.Metrics = reg
+	}
+	if o.TraceFile != "" {
+		eng.Tracer = obs.NewTracer()
+	}
 	if o.Out != "" {
 		sink, err := runner.OpenSink(o.Out, o.Resume)
 		if err != nil {
@@ -421,7 +466,13 @@ func RunBatch(ctx context.Context, m Matrix, o BatchOptions) (*BatchResult, erro
 			defer eng.Ledger.Close()
 		}
 	}
-	return eng.Run(ctx, m)
+	rs, err := eng.Run(ctx, m)
+	if eng.Tracer != nil {
+		if werr := eng.Tracer.WriteFile(o.TraceFile); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return rs, err
 }
 
 // failedOutPath derives the failure-ledger path from the options.

@@ -31,9 +31,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -43,8 +45,9 @@ import (
 	"syscall"
 	"time"
 
-	_ "banshee/internal/fault" // registers the "fault:" chaos workload kind
+	"banshee/internal/fault" // also registers the "fault:" chaos workload kind
 	"banshee/internal/mem"
+	"banshee/internal/obs"
 	"banshee/internal/sim"
 	"banshee/internal/stats"
 	wl "banshee/internal/workload"
@@ -58,20 +61,28 @@ func main() {
 
 func run() int {
 	var (
-		workload = flag.String("workload", "pagerank", "workload name (see -list)")
-		scheme   = flag.String("scheme", "Banshee", `scheme display name ("NoCache", "Unison", "TDC", "Alloy 1", "Alloy 0.1", "HMA", "Banshee", "Banshee LRU", "Banshee NoSample", "Banshee 2M", "CacheOnly"; append "+BATMAN" to balance bandwidth)`)
-		instr    = flag.Uint64("instr", 0, "instructions per core (0 = default)")
-		cores    = flag.Int("cores", 0, "core count (0 = default 16)")
-		seed     = flag.Uint64("seed", 42, "simulation seed")
-		large    = flag.Bool("largepages", false, "back all data with 2 MB pages")
-		epoch    = flag.Uint64("epoch", 0, "print a live sample every N retired instructions (0 = off)")
-		timeout  = flag.Duration("timeout", 0, "wall-clock deadline for the run (0 = none); partial stats print on expiry")
-		gang     = flag.String("gang", "", "comma-separated seeds to run as one lockstep gang (gang-safe schemes only); per-lane stats print at the end")
-		list     = flag.Bool("list", false, "list workloads and exit")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf  = flag.String("memprofile", "", "write an allocation profile at exit to this file")
+		workload  = flag.String("workload", "pagerank", "workload name (see -list)")
+		scheme    = flag.String("scheme", "Banshee", `scheme display name ("NoCache", "Unison", "TDC", "Alloy 1", "Alloy 0.1", "HMA", "Banshee", "Banshee LRU", "Banshee NoSample", "Banshee 2M", "CacheOnly"; append "+BATMAN" to balance bandwidth)`)
+		instr     = flag.Uint64("instr", 0, "instructions per core (0 = default)")
+		cores     = flag.Int("cores", 0, "core count (0 = default 16)")
+		seed      = flag.Uint64("seed", 42, "simulation seed")
+		large     = flag.Bool("largepages", false, "back all data with 2 MB pages")
+		epoch     = flag.Uint64("epoch", 0, "print a live sample every N retired instructions (0 = off)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock deadline for the run (0 = none); partial stats print on expiry")
+		gang      = flag.String("gang", "", "comma-separated seeds to run as one lockstep gang (gang-safe schemes only); per-lane stats print at the end")
+		list      = flag.Bool("list", false, "list workloads and exit")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write an allocation profile at exit to this file")
+		metrics   = flag.String("metrics", "", "serve live telemetry over HTTP on this address (e.g. :6060): /metrics, /debug/vars, /debug/pprof")
+		trFile    = flag.String("tracefile", "", "write the run's timeline as Chrome trace_event JSON to this file")
+		epochJSON = flag.Bool("epoch-json", false, "with -epoch, emit each sample as one JSON object per line on stdout instead of the human stderr line")
 	)
 	flag.Parse()
+
+	if *epochJSON && *epoch == 0 {
+		fmt.Fprintln(os.Stderr, "bansheesim: -epoch-json requires -epoch")
+		return 1
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -108,6 +119,30 @@ func run() int {
 		return 0
 	}
 
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		reg.RegisterRuntime()
+		fault.Instrument(reg) // chaos workloads: how many failures were synthetic
+		srv, err := obs.Serve(*metrics, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bansheesim:", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "bansheesim: serving telemetry on http://%s/metrics\n", srv.Addr())
+	}
+	var tracer *obs.Tracer
+	if *trFile != "" {
+		tracer = obs.NewTracer()
+		tracer.NameThread(0, "session")
+		defer func() {
+			if err := tracer.WriteFile(*trFile); err != nil {
+				fmt.Fprintln(os.Stderr, "bansheesim:", err)
+			}
+		}()
+	}
+
 	cfg := sim.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.LargePages = *large
@@ -134,7 +169,7 @@ func run() int {
 	}
 
 	if *gang != "" {
-		return runGang(ctx, cfg, *workload, *scheme, *gang, *timeout)
+		return runGang(ctx, cfg, *workload, *scheme, *gang, *timeout, reg, tracer)
 	}
 
 	sess, err := sim.NewSession(cfg, *workload, *scheme)
@@ -142,15 +177,69 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "bansheesim:", err)
 		return 1
 	}
-	if *epoch > 0 {
-		sess.OnEpoch(*epoch, func(s stats.Snapshot) {
+
+	// A Session has one epoch hook, so every consumer — human stderr
+	// line, -epoch-json stream, metric sampler, trace instants — joins
+	// one composite callback at a shared interval.
+	var sampler *sim.Sampler
+	var onEpoch []func(stats.Snapshot)
+	if *epoch > 0 && !*epochJSON {
+		onEpoch = append(onEpoch, func(s stats.Snapshot) {
 			fmt.Fprintf(os.Stderr, "[%s] %5.1f%%  MPKI %6.2f  in-pkg B/i %6.3f  off-pkg B/i %6.3f\n",
 				s.Phase, 100*float64(s.Retired)/float64(sess.Progress().Total),
 				s.Window.MPKI(), s.Window.InPkgBPI(), s.Window.OffPkgBPI())
 		})
 	}
+	if *epochJSON {
+		enc := json.NewEncoder(os.Stdout)
+		onEpoch = append(onEpoch, func(s stats.Snapshot) {
+			rec := epochRecord{Retired: s.Retired, Cycles: s.Cycles, Phase: s.Phase.String(),
+				MPKI: s.Window.MPKI(), IPC: s.Window.IPC(), DCHitRate: 1 - s.Window.MissRate(),
+				InPkgBPI: s.Window.InPkgBPI(), OffPkgBPI: s.Window.OffPkgBPI()}
+			if err := enc.Encode(rec); err != nil {
+				fmt.Fprintln(os.Stderr, "bansheesim: -epoch-json:", err)
+			}
+		})
+	}
+	if reg != nil {
+		sampler = sim.NewSampler(reg)
+		sampler.Bind(sess)
+		onEpoch = append(onEpoch, sampler.Sample)
+	}
+	if tracer != nil {
+		onEpoch = append(onEpoch, func(s stats.Snapshot) {
+			tracer.Instant(fmt.Sprintf("epoch @%d", s.Retired), 0, "phase", s.Phase.String())
+		})
+	}
+	if len(onEpoch) > 0 {
+		every := *epoch
+		if every == 0 {
+			every = 1 << 21 // -metrics/-tracefile without -epoch: sample at a sane default
+		}
+		sess.OnEpoch(every, func(s stats.Snapshot) {
+			for _, f := range onEpoch {
+				f(s)
+			}
+		})
+	}
 
+	runStart := time.Duration(0)
+	if tracer != nil {
+		runStart = tracer.Clock()
+	}
 	st, err := sess.Run(ctx)
+	if tracer != nil {
+		state := "done"
+		if err != nil {
+			state = "partial"
+		}
+		tracer.Span(fmt.Sprintf("run %s/%s", *workload, *scheme), 0, runStart, "state", state)
+	}
+	if sampler != nil {
+		// Fold exactly the stats the report below prints, so the exposed
+		// totals match the CLI's own output even for a partial run.
+		sampler.Finish(st)
+	}
 	code := 0
 	switch {
 	case err == nil:
@@ -169,15 +258,36 @@ func run() int {
 		return 1
 	}
 
-	report(st, code != 0)
+	// With -epoch-json, stdout is the machine-readable stream; the human
+	// report moves to stderr so consumers can pipe the JSONL directly.
+	out := io.Writer(os.Stdout)
+	if *epochJSON {
+		out = os.Stderr
+	}
+	report(out, st, code != 0)
 	return code
+}
+
+// epochRecord is one -epoch-json line: the sample's position plus the
+// measure-window rates of the epoch that ended at it.
+type epochRecord struct {
+	Retired   uint64  `json:"retired"`
+	Cycles    uint64  `json:"cycles"`
+	Phase     string  `json:"phase"`
+	MPKI      float64 `json:"mpki"`
+	IPC       float64 `json:"ipc"`
+	DCHitRate float64 `json:"dc_hit_rate"`
+	InPkgBPI  float64 `json:"in_pkg_bpi"`
+	OffPkgBPI float64 `json:"off_pkg_bpi"`
 }
 
 // runGang runs one lane per seed in lockstep over a shared front end
 // and reports each lane's statistics — every lane is byte-identical to
 // an independent run with the same Seed and WorkloadSeed (pinned to
-// -seed here so all lanes share the stream).
-func runGang(ctx context.Context, cfg sim.Config, workload, scheme, seedList string, timeout time.Duration) int {
+// -seed here so all lanes share the stream). With -metrics the lanes'
+// final stats fold into the sim totals; with -tracefile the gang run is
+// one span.
+func runGang(ctx context.Context, cfg sim.Config, workload, scheme, seedList string, timeout time.Duration, reg *obs.Registry, tracer *obs.Tracer) int {
 	var seeds []uint64
 	for _, s := range strings.Split(seedList, ",") {
 		v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
@@ -192,7 +302,23 @@ func runGang(ctx context.Context, cfg sim.Config, workload, scheme, seedList str
 		fmt.Fprintln(os.Stderr, "bansheesim:", err)
 		return 1
 	}
+	runStart := time.Duration(0)
+	if tracer != nil {
+		runStart = tracer.Clock()
+	}
 	results, err := g.Run(ctx)
+	if tracer != nil {
+		state := "done"
+		if err != nil {
+			state = "partial"
+		}
+		tracer.Span(fmt.Sprintf("gang ×%d %s/%s", len(seeds), workload, scheme), 0, runStart, "state", state)
+	}
+	if reg != nil {
+		for _, st := range results {
+			sim.NewSampler(reg).Finish(st)
+		}
+	}
 	code := 0
 	switch {
 	case err == nil:
@@ -212,35 +338,35 @@ func runGang(ctx context.Context, cfg sim.Config, workload, scheme, seedList str
 	}
 	for i, st := range results {
 		fmt.Printf("--- lane %d (seed %d) ---\n", i, seeds[i])
-		report(st, code != 0)
+		report(os.Stdout, st, code != 0)
 	}
 	return code
 }
 
-func report(st stats.Sim, partial bool) {
+func report(w io.Writer, st stats.Sim, partial bool) {
 	note := ""
 	if partial {
 		note = "  (partial)"
 	}
-	fmt.Printf("workload      %s%s\n", st.Workload, note)
-	fmt.Printf("scheme        %s\n", st.Scheme)
-	fmt.Printf("instructions  %d\n", st.Instructions)
-	fmt.Printf("cycles        %d\n", st.Cycles)
-	fmt.Printf("IPC           %.3f\n", st.IPC())
-	fmt.Printf("LLC misses    %d (evictions %d)\n", st.LLCMisses, st.LLCEvictions)
-	fmt.Printf("avg miss lat  %.0f cycles\n", st.AvgMissLat())
-	fmt.Printf("DC hit rate   %.1f%%  (MPKI %.2f)\n", 100*(1-st.MissRate()), st.MPKI())
-	fmt.Printf("in-pkg  B/i   %.3f\n", st.InPkgBPI())
+	fmt.Fprintf(w, "workload      %s%s\n", st.Workload, note)
+	fmt.Fprintf(w, "scheme        %s\n", st.Scheme)
+	fmt.Fprintf(w, "instructions  %d\n", st.Instructions)
+	fmt.Fprintf(w, "cycles        %d\n", st.Cycles)
+	fmt.Fprintf(w, "IPC           %.3f\n", st.IPC())
+	fmt.Fprintf(w, "LLC misses    %d (evictions %d)\n", st.LLCMisses, st.LLCEvictions)
+	fmt.Fprintf(w, "avg miss lat  %.0f cycles\n", st.AvgMissLat())
+	fmt.Fprintf(w, "DC hit rate   %.1f%%  (MPKI %.2f)\n", 100*(1-st.MissRate()), st.MPKI())
+	fmt.Fprintf(w, "in-pkg  B/i   %.3f\n", st.InPkgBPI())
 	for _, c := range mem.Classes() {
 		if st.InPkg.Bytes[c] > 0 {
-			fmt.Printf("  %-12s%.3f\n", c, float64(st.InPkg.Bytes[c])/float64(st.Instructions))
+			fmt.Fprintf(w, "  %-12s%.3f\n", c, float64(st.InPkg.Bytes[c])/float64(st.Instructions))
 		}
 	}
-	fmt.Printf("off-pkg B/i   %.3f\n", st.OffPkgBPI())
+	fmt.Fprintf(w, "off-pkg B/i   %.3f\n", st.OffPkgBPI())
 	if st.TagBufferFlushes > 0 {
-		fmt.Printf("tag-buffer flushes %d (shootdowns %d)\n", st.TagBufferFlushes, st.TLBShootdowns)
+		fmt.Fprintf(w, "tag-buffer flushes %d (shootdowns %d)\n", st.TagBufferFlushes, st.TLBShootdowns)
 	}
 	if st.Remaps > 0 {
-		fmt.Printf("remaps        %d\n", st.Remaps)
+		fmt.Fprintf(w, "remaps        %d\n", st.Remaps)
 	}
 }

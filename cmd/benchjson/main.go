@@ -5,7 +5,12 @@
 //
 // Capture (reads the benchmark text from stdin):
 //
-//	go test -run '^$' -bench BenchmarkEndToEnd -benchmem . | benchjson > BENCH_5.json
+//	go test -run '^$' -bench BenchmarkEndToEnd -benchmem . | benchjson -sha $(git rev-parse --short HEAD) > BENCH_6.json
+//
+// Captured files are stamped with the capture environment (Go version,
+// GOMAXPROCS, and the -sha value) so a committed baseline records what
+// produced it. Both the stamped object format and the bare entry-array
+// format of older baselines load for -diff.
 //
 // Gate (exit 1 when any shared benchmark drifts past the tolerance;
 // flags precede the two file arguments):
@@ -27,10 +32,20 @@ import (
 	"math"
 	"os"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 )
+
+// File is a captured benchmark trajectory: the entries plus the
+// environment that produced them.
+type File struct {
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	GitSHA     string  `json:"git_sha,omitempty"`
+	Entries    []Entry `json:"entries"`
+}
 
 // Entry is one benchmark's measurements. MBPerOp is allocated megabytes
 // (B/op ÷ 1e6), matching the B/op column of -benchmem.
@@ -85,6 +100,8 @@ func parse(r *bufio.Scanner) ([]Entry, error) {
 	return out, nil
 }
 
+// load reads either format: a stamped File object (current capture
+// output) or a bare Entry array (pre-stamp baselines).
 func load(path string) (map[string]Entry, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -92,7 +109,11 @@ func load(path string) (map[string]Entry, error) {
 	}
 	var list []Entry
 	if err := json.Unmarshal(data, &list); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		var f File
+		if err2 := json.Unmarshal(data, &f); err2 != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		list = f.Entries
 	}
 	m := make(map[string]Entry, len(list))
 	for _, e := range list {
@@ -171,6 +192,7 @@ func main() {
 		diffMode = flag.Bool("diff", false, "compare two BENCH json files: benchjson -diff old.json new.json")
 		tol      = flag.Float64("tol", 0.2, "relative tolerance for -diff")
 		metric   = flag.String("metric", "allocs", "what -diff gates on: allocs, ns, or all")
+		sha      = flag.String("sha", "", "git commit SHA to stamp into the captured file")
 	)
 	flag.Parse()
 
@@ -193,7 +215,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(2)
 	}
-	out, err := json.MarshalIndent(entries, "", "  ")
+	f := File{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GitSHA: *sha, Entries: entries}
+	out, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(2)

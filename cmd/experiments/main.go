@@ -57,7 +57,8 @@ import (
 	"time"
 
 	"banshee/internal/exp"
-	_ "banshee/internal/fault" // registers the "fault:" chaos workload kind
+	"banshee/internal/fault" // also registers the "fault:" chaos workload kind
+	"banshee/internal/obs"
 	"banshee/internal/runner"
 )
 
@@ -83,6 +84,9 @@ func run() (code int) {
 		gang       = flag.Int("gang", 0, "run up to N gang-eligible jobs as one lockstep gang (0 = off)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the suite to this file")
 		memProf    = flag.String("memprofile", "", "write an allocation profile at exit to this file")
+		metrics    = flag.String("metrics", "", "serve live sweep telemetry over HTTP on this address (e.g. :6060): /metrics, /debug/vars, /debug/pprof")
+		traceFile  = flag.String("tracefile", "", "write the suite's sweep timeline as Chrome trace_event JSON to this file")
+		progEvery  = flag.Duration("progress-every", 0, "with -v, replace per-job lines with one summary line per interval (0 = per-job lines)")
 	)
 	flag.Parse()
 
@@ -131,6 +135,28 @@ func run() (code int) {
 		fmt.Fprintln(os.Stderr, "experiments: -resume requires -out")
 		return 1
 	}
+	if *metrics != "" {
+		reg := obs.NewRegistry()
+		reg.RegisterRuntime()
+		fault.Instrument(reg) // chaos runs: how many failures were synthetic
+		srv, err := obs.Serve(*metrics, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "experiments: serving telemetry on http://%s/metrics\n", srv.Addr())
+		o.Metrics = reg
+	}
+	if *traceFile != "" {
+		o.Tracer = obs.NewTracer()
+		defer func() {
+			if err := o.Tracer.WriteFile(*traceFile); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
+	o.ProgressEvery = *progEvery
 
 	// Permanently failed jobs, collected across matrices so the suite
 	// can finish its figures before reporting the holes.

@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"banshee/internal/obs"
 	"banshee/internal/runner"
 	"banshee/internal/sim"
 	"banshee/internal/trace"
@@ -66,6 +67,16 @@ type Options struct {
 	// gang; results and checkpoint files are byte-identical to
 	// independent execution. 0 disables ganging.
 	GangWidth int
+	// Metrics, when non-nil, receives live sweep telemetry from every
+	// matrix the experiment runs (job states, attempts, gang shape,
+	// per-epoch sim series). Serve it with obs.Serve to watch a run.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records the sweep timeline of every matrix
+	// for Chrome trace_event export.
+	Tracer *obs.Tracer
+	// ProgressEvery, when positive with Progress set, replaces per-job
+	// progress lines with one rate-limited summary line per interval.
+	ProgressEvery time.Duration
 }
 
 func (o Options) workloads() []string {
@@ -134,7 +145,8 @@ func run(o Options, m runner.Matrix) *runner.ResultSet {
 	}
 	eng := runner.Engine{Parallelism: o.Parallelism, Progress: o.Progress,
 		Retry: o.Retry, JobTimeout: o.JobTimeout, KeepGoing: o.KeepGoing,
-		GangWidth: o.GangWidth}
+		GangWidth: o.GangWidth, Metrics: o.Metrics, Tracer: o.Tracer,
+		ProgressEvery: o.ProgressEvery}
 	ledger := ""
 	if o.Out != "" {
 		sink, err := runner.OpenSink(filepath.Join(o.Out, m.Name+".jsonl"), o.Resume)

@@ -178,6 +178,7 @@ func (in *Injector) Runner(inner runner.JobRunner) runner.JobRunner {
 		switch mode := in.ModeFor(job.ID); mode {
 		case Panic, Err, Short:
 			if in.shouldFault(job.ID) {
+				recordFault(mode)
 				if mode == Panic {
 					panic(fmt.Sprintf("fault: injected panic in job %s", job.ID))
 				}
@@ -185,6 +186,7 @@ func (in *Injector) Runner(inner runner.JobRunner) runner.JobRunner {
 			}
 		case Stall:
 			if in.shouldFault(job.ID) {
+				recordFault(Stall)
 				t := time.NewTimer(in.plan.stall())
 				defer t.Stop()
 				select {

@@ -1,0 +1,44 @@
+package fault
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"banshee/internal/obs"
+)
+
+// injected counts faults that actually fired, by mode, across every
+// injector in the process — the audit trail that makes a chaos run's
+// metric stream interpretable (how many failures were synthetic).
+// Process-wide on purpose: injectors are created per wrap site, but a
+// chaos run is one experiment.
+var injected [Short + 1]atomic.Uint64
+
+// recordFault tallies one fired fault of mode m.
+func recordFault(m Mode) {
+	if m >= 0 && int(m) < len(injected) {
+		injected[m].Add(1)
+	}
+}
+
+// InjectedCount returns how many faults of mode m have fired in this
+// process.
+func InjectedCount(m Mode) uint64 {
+	if m < 0 || int(m) >= len(injected) {
+		return 0
+	}
+	return injected[m].Load()
+}
+
+// Instrument exposes the injection tallies on r as
+// banshee_faults_injected_total{mode="panic"|"err"|"stall"|"short"}.
+// Idempotent, like all registry registration.
+func Instrument(r *obs.Registry) {
+	for _, m := range []Mode{Panic, Err, Stall, Short} {
+		m := m
+		r.CounterFunc(
+			fmt.Sprintf("banshee_faults_injected_total{mode=%q}", m.String()),
+			"injected faults fired, by mode",
+			func() float64 { return float64(injected[m].Load()) })
+	}
+}

@@ -43,6 +43,7 @@ func (s *faultSource) Next(core int) trace.Event {
 		return trace.Event{}
 	}
 	if s.n++; s.n == s.at {
+		recordFault(s.mode)
 		switch s.mode {
 		case Panic:
 			panic(fmt.Sprintf("fault: injected panic in workload %s at event %d", s.inner.Name(), s.n))
@@ -111,6 +112,7 @@ type faultWriter struct {
 func (w *faultWriter) Write(p []byte) (int, error) {
 	if !w.fired && w.n+int64(len(p)) >= w.at {
 		w.fired = true
+		recordFault(w.mode)
 		switch w.mode {
 		case Err:
 			return 0, fmt.Errorf("fault: write at offset %d: %w", w.n, ErrInjected)
@@ -158,12 +160,15 @@ func (r *faultReaderAt) ReadAt(p []byte, off int64) (int, error) {
 	if r.at >= off && r.at < off+int64(n) {
 		switch r.mode {
 		case Err:
+			recordFault(Err)
 			p[r.at-off] ^= 1
 		case Panic:
+			recordFault(Panic)
 			panic(fmt.Sprintf("fault: injected panic reading offset %d", r.at))
 		case Stall:
 			if !r.stalled {
 				r.stalled = true
+				recordFault(Stall)
 				time.Sleep(r.stall)
 			}
 		}

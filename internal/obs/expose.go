@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): one HELP/TYPE header per family,
+// histograms as cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	lastFamily := ""
+	for _, m := range r.sorted() {
+		if m.family != lastFamily {
+			lastFamily = m.family
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.family, m.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.family, m.kind); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch {
+		case m.fn != nil:
+			_, err = fmt.Fprintf(w, "%s %g\n", m.name, m.fn())
+		case m.counter != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.counter.Value())
+		case m.gauge != nil:
+			_, err = fmt.Fprintf(w, "%s %g\n", m.name, m.gauge.Value())
+		case m.hist != nil:
+			err = writePromHistogram(w, m)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram renders one histogram: cumulative buckets with a
+// "le" label merged into any labels baked into the series name.
+func writePromHistogram(w io.Writer, m *metric) error {
+	base, labels := m.family, ""
+	if i := strings.IndexByte(m.name, '{'); i >= 0 {
+		labels = strings.TrimSuffix(m.name[i+1:], "}") + ","
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		n := m.hist.counts[i].Load()
+		cum += n
+		if n == 0 && i < histBuckets-1 {
+			continue // sparse output; cumulative totals stay exact
+		}
+		le := fmt.Sprintf("%d", uint64(1)<<uint(i))
+		if i == histBuckets-1 {
+			le = "+Inf"
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", base, labels, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", base, labelSuffix(m.name), m.hist.Sum()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", base, labelSuffix(m.name), m.hist.Count())
+	return err
+}
+
+// labelSuffix returns the "{...}" label block of a series name, or "".
+func labelSuffix(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[i:]
+	}
+	return ""
+}
+
+// WriteJSON renders every series as one flat JSON object keyed by
+// series name — the machine-readable twin of the Prometheus text
+// format, also served at /debug/vars. Histograms render as
+// {"count","sum","buckets":{"le":cumulative}}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := map[string]interface{}{}
+	for _, m := range r.sorted() {
+		switch {
+		case m.fn != nil:
+			out[m.name] = m.fn()
+		case m.counter != nil:
+			out[m.name] = m.counter.Value()
+		case m.gauge != nil:
+			out[m.name] = m.gauge.Value()
+		case m.hist != nil:
+			buckets := map[string]uint64{}
+			var cum uint64
+			for i := 0; i < histBuckets; i++ {
+				n := m.hist.counts[i].Load()
+				cum += n
+				if n == 0 {
+					continue
+				}
+				le := fmt.Sprintf("%d", uint64(1)<<uint(i))
+				if i == histBuckets-1 {
+					le = "+Inf"
+				}
+				buckets[le] = cum
+			}
+			out[m.name] = map[string]interface{}{
+				"count": m.hist.Count(), "sum": m.hist.Sum(), "buckets": buckets,
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress is a rate-limited, human-readable sweep progress line: the
+// replacement for per-job log spam on large sweeps. Maybe emits at
+// most one line per interval (plus, via Force, a final line), each
+// summarizing position, composition, throughput, and ETA:
+//
+//	progress: 1234/5678 jobs (21.7%)  exec 400  reuse 834  failed 0  12.3 jobs/s  eta 6m2s
+//
+// Safe for concurrent use.
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	every time.Duration
+	start time.Time
+	last  time.Time
+}
+
+// NewProgress reports to w at most once per interval (0 = 2s default).
+func NewProgress(w io.Writer, interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	now := time.Now()
+	return &Progress{w: w, every: interval, start: now, last: now}
+}
+
+// Maybe emits a progress line if the interval has elapsed since the
+// last one.
+func (p *Progress) Maybe(done, total, executed, cached, failed int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if time.Since(p.last) < p.every {
+		return
+	}
+	p.emitLocked(done, total, executed, cached, failed)
+}
+
+// Force emits a progress line regardless of the interval — the final
+// position of a finished or cancelled sweep.
+func (p *Progress) Force(done, total, executed, cached, failed int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.emitLocked(done, total, executed, cached, failed)
+}
+
+func (p *Progress) emitLocked(done, total, executed, cached, failed int) {
+	p.last = time.Now()
+	elapsed := p.last.Sub(p.start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(done) / elapsed
+	}
+	eta := ""
+	if rate > 0 && done < total {
+		d := time.Duration(float64(total-done) / rate * float64(time.Second))
+		eta = fmt.Sprintf("  eta %s", d.Round(time.Second))
+	}
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(done) / float64(total)
+	}
+	fmt.Fprintf(p.w, "progress: %d/%d jobs (%.1f%%)  exec %d  reuse %d  failed %d  %.1f jobs/s%s\n",
+		done, total, pct, executed, cached, failed, rate, eta)
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Tracer records spans and instant events against a wall-clock
+// timeline and renders them as Chrome trace_event JSON — the format
+// chrome://tracing and Perfetto open directly — so a whole sweep
+// (workers × jobs × retries × gang groups) becomes a browsable
+// timeline. Recording is opt-in and buffered in memory with a bounded
+// event budget: past the limit events are dropped and counted, and the
+// drop count is stamped into the output instead of silently truncating
+// the timeline. Safe for concurrent use.
+type Tracer struct {
+	mu      sync.Mutex
+	start   time.Time
+	events  []traceEvent
+	limit   int
+	dropped uint64
+}
+
+// traceEvent is one Chrome trace_event record. Timestamps and
+// durations are microseconds since the tracer was created.
+type traceEvent struct {
+	Name  string                 `json:"name"`
+	Ph    string                 `json:"ph"`
+	TS    float64                `json:"ts"`
+	Dur   float64                `json:"dur,omitempty"`
+	PID   int                    `json:"pid"`
+	TID   int                    `json:"tid"`
+	Scope string                 `json:"s,omitempty"`
+	Args  map[string]interface{} `json:"args,omitempty"`
+}
+
+// defaultTraceLimit bounds the in-memory event buffer (~a few hundred
+// MB worst case at full args). Million-job sweeps overflow it; the
+// overflow is counted and reported, never silent.
+const defaultTraceLimit = 1 << 20
+
+// NewTracer returns a tracer whose clock starts now.
+func NewTracer() *Tracer {
+	return &Tracer{start: time.Now(), limit: defaultTraceLimit}
+}
+
+// SetLimit bounds the number of buffered events (≤ 0 = unlimited).
+func (t *Tracer) SetLimit(n int) {
+	t.mu.Lock()
+	t.limit = n
+	t.mu.Unlock()
+}
+
+// Clock returns the current offset on the tracer's timeline — capture
+// it before an operation and hand it to Span after.
+func (t *Tracer) Clock() time.Duration { return time.Since(t.start) }
+
+// args folds variadic key/value pairs into a map (nil when empty). A
+// trailing odd key is paired with nil rather than dropped.
+func args(kv []interface{}) map[string]interface{} {
+	if len(kv) == 0 {
+		return nil
+	}
+	m := make(map[string]interface{}, (len(kv)+1)/2)
+	for i := 0; i < len(kv); i += 2 {
+		k := fmt.Sprint(kv[i])
+		if i+1 < len(kv) {
+			m[k] = kv[i+1]
+		} else {
+			m[k] = nil
+		}
+	}
+	return m
+}
+
+// add appends one event under the buffer budget.
+func (t *Tracer) add(ev traceEvent) {
+	t.mu.Lock()
+	if t.limit > 0 && len(t.events) >= t.limit {
+		t.dropped++
+	} else {
+		t.events = append(t.events, ev)
+	}
+	t.mu.Unlock()
+}
+
+// Span records a complete span on thread tid from start (a Clock
+// capture) to now, with optional key/value args.
+func (t *Tracer) Span(name string, tid int, start time.Duration, kv ...interface{}) {
+	t.SpanAt(name, tid, start, t.Clock(), kv...)
+}
+
+// SpanAt records a complete span covering [start, end] on the tracer's
+// timeline.
+func (t *Tracer) SpanAt(name string, tid int, start, end time.Duration, kv ...interface{}) {
+	if end < start {
+		end = start
+	}
+	t.add(traceEvent{Name: name, Ph: "X", TS: us(start), Dur: us(end - start),
+		PID: 1, TID: tid, Args: args(kv)})
+}
+
+// Instant records a point event on thread tid at now.
+func (t *Tracer) Instant(name string, tid int, kv ...interface{}) {
+	t.add(traceEvent{Name: name, Ph: "i", TS: us(t.Clock()), PID: 1, TID: tid,
+		Scope: "t", Args: args(kv)})
+}
+
+// NameThread labels a thread lane in the rendered timeline ("worker 3",
+// "sim"). Metadata events bypass the buffer budget.
+func (t *Tracer) NameThread(tid int, name string) {
+	t.mu.Lock()
+	t.events = append(t.events, traceEvent{Name: "thread_name", Ph: "M", PID: 1,
+		TID: tid, Args: map[string]interface{}{"name": name}})
+	t.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many events the buffer budget discarded.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// us converts a duration to trace_event microseconds.
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteJSON renders the recorded timeline as a Chrome trace_event JSON
+// object ({"traceEvents": [...]}). When events were dropped, a final
+// instant event records how many, so a truncated timeline declares
+// itself.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	events := make([]traceEvent, len(t.events))
+	copy(events, t.events)
+	dropped := t.dropped
+	t.mu.Unlock()
+	if dropped > 0 {
+		events = append(events, traceEvent{
+			Name: fmt.Sprintf("tracer: %d events dropped (buffer limit)", dropped),
+			Ph:   "i", TS: us(t.Clock()), PID: 1, TID: 0, Scope: "g",
+		})
+	}
+	out := struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{events, "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteFile writes the timeline to path (see WriteJSON).
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: trace file: %w", err)
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: trace file: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: trace file: %w", err)
+	}
+	return nil
+}

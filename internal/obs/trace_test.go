@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// chromeTrace mirrors the subset of the trace_event container format
+// the tests validate — what chrome://tracing and Perfetto parse.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Name  string                 `json:"name"`
+		Ph    string                 `json:"ph"`
+		TS    float64                `json:"ts"`
+		Dur   float64                `json:"dur"`
+		PID   int                    `json:"pid"`
+		TID   int                    `json:"tid"`
+		Args  map[string]interface{} `json:"args"`
+		Scope string                 `json:"s"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func decodeTrace(t *testing.T, b []byte) chromeTrace {
+	t.Helper()
+	var out chromeTrace
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, b)
+	}
+	return out
+}
+
+func TestTracerTimeline(t *testing.T) {
+	tr := NewTracer()
+	tr.NameThread(2, "worker 2")
+	start := tr.Clock()
+	time.Sleep(time.Millisecond)
+	tr.Span("job a|b|c", 2, start, "id", "deadbeef", "attempt", 1)
+	tr.Instant("retry", 2, "attempt", 2)
+
+	var b bytes.Buffer
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := decodeTrace(t, b.Bytes())
+	if len(out.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3", len(out.TraceEvents))
+	}
+	meta, span, inst := out.TraceEvents[0], out.TraceEvents[1], out.TraceEvents[2]
+	if meta.Ph != "M" || meta.Args["name"] != "worker 2" {
+		t.Errorf("bad thread metadata: %+v", meta)
+	}
+	if span.Ph != "X" || span.TID != 2 || span.Dur < 900 || span.Args["id"] != "deadbeef" {
+		t.Errorf("bad span: %+v", span)
+	}
+	if inst.Ph != "i" || inst.Scope != "t" || inst.Args["attempt"].(float64) != 2 {
+		t.Errorf("bad instant: %+v", inst)
+	}
+}
+
+// TestTracerLimit pins the no-silent-caps contract: overflowing the
+// buffer budget drops events but stamps the drop count into the
+// output.
+func TestTracerLimit(t *testing.T) {
+	tr := NewTracer()
+	tr.SetLimit(10)
+	for i := 0; i < 25; i++ {
+		tr.Instant("e", 0)
+	}
+	if tr.Len() != 10 || tr.Dropped() != 15 {
+		t.Fatalf("len %d dropped %d, want 10/15", tr.Len(), tr.Dropped())
+	}
+	var b bytes.Buffer
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := decodeTrace(t, b.Bytes())
+	last := out.TraceEvents[len(out.TraceEvents)-1]
+	if last.Name != "tracer: 15 events dropped (buffer limit)" {
+		t.Errorf("missing drop marker, last event: %+v", last)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Span("s", w, tr.Clock())
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 8*500 {
+		t.Fatalf("len = %d, want %d", tr.Len(), 8*500)
+	}
+}
+
+func TestTracerWriteFile(t *testing.T) {
+	tr := NewTracer()
+	tr.Span("run", 0, 0)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := decodeTrace(t, b)
+	if len(out.TraceEvents) != 1 || out.DisplayTimeUnit != "ms" {
+		t.Errorf("unexpected file contents: %+v", out)
+	}
+}
+
+func TestProgressRateLimit(t *testing.T) {
+	var b bytes.Buffer
+	p := NewProgress(&b, time.Hour)
+	p.Maybe(1, 10, 1, 0, 0) // within the interval: suppressed
+	if b.Len() != 0 {
+		t.Errorf("line emitted inside the interval: %q", b.String())
+	}
+	p.Force(10, 10, 6, 4, 0)
+	line := b.String()
+	for _, want := range []string{"10/10 jobs", "100.0%", "exec 6", "reuse 4", "failed 0"} {
+		if !bytes.Contains([]byte(line), []byte(want)) {
+			t.Errorf("progress line missing %q: %q", want, line)
+		}
+	}
+}

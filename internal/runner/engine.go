@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"banshee/internal/errs"
+	"banshee/internal/obs"
 	"banshee/internal/stats"
 )
 
@@ -72,6 +73,29 @@ type Engine struct {
 	// GangRunner overrides how a gang executes (nil = SimulateGang).
 	// Fault-injection seam, like JobRunner but gang-level.
 	GangRunner GangRunner
+
+	// Observability. All nil/zero by default: the disabled path adds no
+	// allocations, no atomics, and no output changes.
+
+	// Metrics, when non-nil, receives the engine's instrument panel
+	// (job states, attempts/retries, worker occupancy, gang shape,
+	// checkpoint flush lag) and — under the default JobRunner — the
+	// per-epoch simulation series (sim.Sampler).
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records the sweep timeline: one span per
+	// job and per attempt on the executing worker's lane, gang spans,
+	// and instants for retries and gang fallbacks — renderable as
+	// Chrome trace_event JSON.
+	Tracer *obs.Tracer
+	// ProgressEvery, when positive with Progress set, replaces the
+	// per-job "done/reuse/gang" lines with one rate-limited sweep
+	// progress line per interval. Failure notes and the final matrix
+	// summary still print.
+	ProgressEvery time.Duration
+	// EpochEvery sets the sampling interval, in retired instructions,
+	// for the per-epoch metric series (0 = a sensible default). Only
+	// meaningful with Metrics set.
+	EpochEvery uint64
 }
 
 // gangWidth resolves the effective gang width for this run.
@@ -114,6 +138,11 @@ func (e Engine) Run(ctx context.Context, m Matrix) (*ResultSet, error) {
 		}
 	}
 
+	em := newEngineMetrics(e.Metrics)
+	var prog *obs.Progress
+	if e.Progress != nil && e.ProgressEvery > 0 {
+		prog = obs.NewProgress(e.Progress, e.ProgressEvery)
+	}
 	var (
 		mu       sync.Mutex
 		firstErr error
@@ -124,6 +153,8 @@ func (e Engine) Run(ctx context.Context, m Matrix) (*ResultSet, error) {
 		failures = make([]*Record, len(jobs)) // ledger records (KeepGoing)
 		onDisk   = make([]bool, len(jobs))    // already in the sink file
 		next     = 0                          // flush frontier (enumeration order)
+		doneN    = 0                          // filled slots (successes + failures)
+		failedN  = 0                          // permanently failed slots
 	)
 	if e.Sink != nil {
 		for _, r := range e.Sink.Loaded() {
@@ -144,16 +175,32 @@ func (e Engine) Run(ctx context.Context, m Matrix) (*ResultSet, error) {
 				if err := e.Sink.Append(*results[next]); err != nil {
 					firstErr = err
 				}
+				if em != nil {
+					em.flushed.Inc()
+				}
 			}
 			next++
+		}
+		if em != nil {
+			em.flushLag.Set(float64(doneN - next))
 		}
 	}
 	completeLocked := func(i int, st stats.Sim, how string) {
 		j := jobs[i]
 		results[i] = &Record{ID: j.ID, Matrix: j.Matrix, Label: j.Label,
 			Workload: j.Workload, Scheme: j.Scheme, Seed: j.Seed, Result: st}
+		doneN++
 		flushLocked()
-		if e.Progress != nil {
+		if em != nil {
+			if how == "reuse" {
+				em.jobsReused.Inc()
+			} else {
+				em.jobsDone.Inc()
+			}
+		}
+		if prog != nil {
+			prog.Maybe(doneN, len(jobs), rs.Executed, rs.Cached, failedN)
+		} else if e.Progress != nil {
 			fmt.Fprintf(e.Progress, "%-6s %-40s cycles=%d\n", how, j.Coord(), st.Cycles)
 		}
 	}
@@ -162,12 +209,17 @@ func (e Engine) Run(ctx context.Context, m Matrix) (*ResultSet, error) {
 	failLocked := func(i int, jerr *errs.JobError) {
 		rec := failureRecord(jobs[i], jerr)
 		failures[i] = &rec
+		doneN++
+		failedN++
 		if e.Ledger != nil && firstErr == nil {
 			if err := e.Ledger.Append(rec); err != nil {
 				firstErr = err
 			}
 		}
 		flushLocked()
+		if em != nil {
+			em.jobsFailed.Inc()
+		}
 		if e.Progress != nil {
 			fmt.Fprintf(e.Progress, "%-6s %-40s %v\n", "FAIL", jobs[i].Coord(), jerr.Err)
 		}
@@ -199,6 +251,10 @@ func (e Engine) Run(ctx context.Context, m Matrix) (*ResultSet, error) {
 			results[i] = &r
 			onDisk[i] = true
 			rs.Cached++
+			doneN++
+			if em != nil {
+				em.jobsReused.Inc()
+			}
 		}
 		for i := k; i < len(jobs); i++ {
 			pending = append(pending, i)
@@ -223,8 +279,11 @@ func (e Engine) Run(ctx context.Context, m Matrix) (*ResultSet, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			if e.Tracer != nil {
+				e.Tracer.NameThread(w, fmt.Sprintf("worker %d", w))
+			}
 			own := ""
 			for {
 				mu.Lock()
@@ -299,7 +358,26 @@ func (e Engine) Run(ctx context.Context, m Matrix) (*ResultSet, error) {
 					// are discarded here — only complete results ever reach
 					// the sink. Panics and per-attempt errors come back as
 					// one *errs.JobError after retries are exhausted.
-					st, err := e.runSupervised(ctx, jobs[i])
+					if em != nil {
+						em.workersBusy.Add(1)
+					}
+					jobStart := time.Now()
+					var t0 time.Duration
+					if e.Tracer != nil {
+						t0 = e.Tracer.Clock()
+					}
+					st, err := e.runSupervised(ctx, jobs[i], w, em)
+					if em != nil {
+						em.workersBusy.Add(-1)
+						em.jobDur.Observe(uint64(time.Since(jobStart).Microseconds()))
+					}
+					if e.Tracer != nil {
+						state := "done"
+						if err != nil {
+							state = "failed"
+						}
+						e.Tracer.Span("job "+jobs[i].Coord(), w, t0, "state", state)
+					}
 
 					mu.Lock()
 					delete(inflight, id)
@@ -346,7 +424,35 @@ func (e Engine) Run(ctx context.Context, m Matrix) (*ResultSet, error) {
 				}
 				mu.Unlock()
 
+				if em != nil {
+					em.workersBusy.Add(1)
+					em.gangGroups.Inc()
+					em.gangLanes.Add(uint64(len(members)))
+					em.gangWidth.Observe(uint64(len(members)))
+				}
+				var t0 time.Duration
+				if e.Tracer != nil {
+					t0 = e.Tracer.Clock()
+				}
 				sts, gerr := e.runGang(ctx, members)
+				if em != nil {
+					em.workersBusy.Add(-1)
+				}
+				if e.Tracer != nil {
+					state := "done"
+					if gerr != nil {
+						state = "failed"
+					}
+					e.Tracer.Span(fmt.Sprintf("gang ×%d %s", len(members), members[0].Coord()), w,
+						t0, "state", state, "lanes", len(members))
+				}
+				if gerr == nil && em != nil {
+					// Gang lanes bypass the sampler (the shared front end
+					// owns the epoch machinery), so fold their finals here
+					// to keep the sim totals equal to the sums over
+					// executed results.
+					foldFinals(e.Metrics, sts)
+				}
 
 				mu.Lock()
 				for _, i := range todo {
@@ -379,6 +485,12 @@ func (e Engine) Run(ctx context.Context, m Matrix) (*ResultSet, error) {
 					mu.Unlock()
 					return
 				}
+				if em != nil {
+					em.gangFallbacks.Inc()
+				}
+				if e.Tracer != nil {
+					e.Tracer.Instant("gang fallback", w, "lanes", len(todo))
+				}
 				if e.Progress != nil {
 					fmt.Fprintf(e.Progress, "%-6s %d-lane gang at %s: %v; retrying as independent jobs\n",
 						"gang!", len(todo), jobs[todo[0]].Coord(), gerr)
@@ -386,7 +498,7 @@ func (e Engine) Run(ctx context.Context, m Matrix) (*ResultSet, error) {
 				q.pushFrontSingles(wl, todo)
 				mu.Unlock()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if firstErr != nil {
@@ -402,6 +514,9 @@ func (e Engine) Run(ctx context.Context, m Matrix) (*ResultSet, error) {
 		}
 		rs.records = append(rs.records, *r)
 		rs.byCoord[coordKey(r.Matrix, r.Label, r.Workload, r.Scheme, r.Seed)] = *r
+	}
+	if prog != nil {
+		prog.Force(doneN, len(jobs), rs.Executed, rs.Cached, failedN)
 	}
 	if e.Progress != nil {
 		fmt.Fprintf(e.Progress, "matrix %s: %d jobs, %d cached, %d executed, %d failed\n",

@@ -1,0 +1,93 @@
+package runner
+
+import (
+	"context"
+
+	"banshee/internal/obs"
+	"banshee/internal/sim"
+	"banshee/internal/stats"
+)
+
+// defaultEpochEvery is the epoch sampling interval, in retired
+// instructions, used for metric time series when Engine.EpochEvery is
+// unset: fine enough that the gauges move during a single job, coarse
+// enough that sampling cost is noise.
+const defaultEpochEvery = 1 << 21
+
+// engineMetrics is the engine's instrument panel, built once per Run
+// against the engine's registry. All updates happen under the run's
+// mutex or on a single worker, but the metrics themselves are atomic —
+// the exposition endpoint reads them concurrently.
+type engineMetrics struct {
+	jobsDone      *obs.Counter
+	jobsFailed    *obs.Counter
+	jobsReused    *obs.Counter
+	attempts      *obs.Counter
+	retries       *obs.Counter
+	workersBusy   *obs.Gauge
+	flushLag      *obs.Gauge
+	flushed       *obs.Counter
+	gangGroups    *obs.Counter
+	gangLanes     *obs.Counter
+	gangFallbacks *obs.Counter
+	gangWidth     *obs.Histogram
+	jobDur        *obs.Histogram
+	attemptDur    *obs.Histogram
+}
+
+// newEngineMetrics registers the engine metric families on r (nil r =
+// nil panel; every update site is nil-guarded so the disabled path
+// stays free).
+func newEngineMetrics(r *obs.Registry) *engineMetrics {
+	if r == nil {
+		return nil
+	}
+	return &engineMetrics{
+		jobsDone:      r.Counter(`banshee_jobs_total{state="done"}`, "jobs by final state"),
+		jobsFailed:    r.Counter(`banshee_jobs_total{state="failed"}`, "jobs by final state"),
+		jobsReused:    r.Counter(`banshee_jobs_total{state="reused"}`, "jobs by final state"),
+		attempts:      r.Counter("banshee_job_attempts_total", "job attempts started (first tries and retries)"),
+		retries:       r.Counter("banshee_job_retries_total", "job attempts past the first"),
+		workersBusy:   r.Gauge("banshee_workers_busy", "workers executing a job or gang right now"),
+		flushLag:      r.Gauge("banshee_flush_lag_jobs", "completed jobs waiting behind the in-order checkpoint flush frontier"),
+		flushed:       r.Counter("banshee_checkpoint_flushed_total", "records streamed to the checkpoint sink"),
+		gangGroups:    r.Counter("banshee_gang_groups_total", "gang groups executed"),
+		gangLanes:     r.Counter("banshee_gang_lanes_total", "jobs executed as gang lanes"),
+		gangFallbacks: r.Counter("banshee_gang_fallbacks_total", "failed gangs requeued as independent jobs"),
+		gangWidth:     r.Histogram("banshee_gang_width_lanes", "lanes per executed gang group"),
+		jobDur:        r.Histogram("banshee_job_duration_us", "wall time per executed job, retries included"),
+		attemptDur:    r.Histogram("banshee_attempt_duration_us", "wall time per job attempt"),
+	}
+}
+
+// instrumentedJobRunner wraps the default SimulateJob with an epoch
+// sampler against r: rate gauges update live every `every` retired
+// instructions, and a successful run folds its final measurement
+// window into the sim totals — failed or cancelled attempts leave no
+// residue, keeping the totals equal to the sums over emitted results.
+// foldFinals folds already-final results into the sim totals without a
+// session — the gang path, whose lanes bypass the per-session sampler.
+func foldFinals(r *obs.Registry, sts []stats.Sim) {
+	for _, st := range sts {
+		sim.NewSampler(r).Finish(st)
+	}
+}
+
+func instrumentedJobRunner(r *obs.Registry, every uint64) JobRunner {
+	if every == 0 {
+		every = defaultEpochEvery
+	}
+	return func(ctx context.Context, job Job) (stats.Sim, error) {
+		sess, err := sim.NewSessionConfig(job.Config)
+		if err != nil {
+			return stats.Sim{}, err
+		}
+		sp := sim.NewSampler(r)
+		sp.Attach(sess, every)
+		st, err := sess.Run(ctx)
+		if err == nil {
+			sp.Finish(st)
+		}
+		return st, err
+	}
+}

@@ -91,18 +91,47 @@ func (e *panicError) Error() string { return fmt.Sprintf("panic: %v", e.val) }
 // non-nil error is always a *errs.JobError carrying the job context
 // and attempt count — except when the parent ctx was cancelled, which
 // is surfaced as-is (cancellation is the sweep ending, not this job
-// failing).
-func (e Engine) runSupervised(ctx context.Context, job Job) (stats.Sim, error) {
+// failing). w is the executing worker's index (the tracer lane); em
+// is the run's instrument panel (nil when metrics are off).
+func (e Engine) runSupervised(ctx context.Context, job Job, w int, em *engineMetrics) (stats.Sim, error) {
 	run := e.JobRunner
 	if run == nil {
-		run = SimulateJob
+		if e.Metrics != nil {
+			run = instrumentedJobRunner(e.Metrics, e.EpochEvery)
+		} else {
+			run = SimulateJob
+		}
 	}
 	max := e.Retry.attempts()
 	var lastErr error
 	attempts := 0
 	for attempt := 1; attempt <= max; attempt++ {
 		attempts = attempt
+		if em != nil {
+			em.attempts.Inc()
+			if attempt > 1 {
+				em.retries.Inc()
+			}
+		}
+		if e.Tracer != nil && attempt > 1 {
+			e.Tracer.Instant("retry "+job.Coord(), w, "attempt", attempt)
+		}
+		var t0 time.Duration
+		if e.Tracer != nil {
+			t0 = e.Tracer.Clock()
+		}
+		attemptStart := time.Now()
 		st, err := e.attempt(ctx, job, run)
+		if em != nil {
+			em.attemptDur.Observe(uint64(time.Since(attemptStart).Microseconds()))
+		}
+		if e.Tracer != nil {
+			state := "ok"
+			if err != nil {
+				state = "error"
+			}
+			e.Tracer.Span(fmt.Sprintf("attempt %d %s", attempt, job.Coord()), w, t0, "state", state)
+		}
 		if err == nil {
 			return st, nil
 		}

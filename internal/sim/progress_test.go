@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"testing"
+
+	"banshee/internal/stats"
+)
+
+// TestProgressZeroWarmup: WarmupFrac 0 means the whole run is the
+// measurement window — the session reports PhaseMeasure from its first
+// instruction (never PhaseWarmup) and PhaseDone at the end.
+func TestProgressZeroWarmup(t *testing.T) {
+	cfg := sessionTestConfig("pagerank")
+	cfg.WarmupFrac = 0
+	sess, err := NewSession(cfg, cfg.Workload, "NoCache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := sess.Progress(); p.Phase != stats.PhaseMeasure {
+		t.Errorf("phase before first step = %v, want measure (no warmup)", p.Phase)
+	}
+	sawWarmup := false
+	for {
+		done, err := sess.Step(1_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sess.Progress().Phase == stats.PhaseWarmup {
+			sawWarmup = true
+		}
+		if done {
+			break
+		}
+	}
+	if sawWarmup {
+		t.Error("run with WarmupFrac 0 reported PhaseWarmup")
+	}
+	p := sess.Progress()
+	if p.Phase != stats.PhaseDone {
+		t.Errorf("final phase = %v, want done", p.Phase)
+	}
+	if p.Fraction() != 1 {
+		t.Errorf("final Fraction = %v, want 1 (Retired %d / Total %d clamps)",
+			p.Fraction(), p.Retired, p.Total)
+	}
+}
+
+// TestProgressFractionBoundaries pins Fraction's edge cases directly:
+// an empty progress is 0 (not NaN), and overshoot past the budget —
+// which real runs produce, since cores retire past the target inside a
+// step — clamps to 1.
+func TestProgressFractionBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Progress
+		want float64
+	}{
+		{"zero total", Progress{Retired: 0, Total: 0}, 0},
+		{"retired with zero total", Progress{Retired: 7, Total: 0}, 0},
+		{"start", Progress{Retired: 0, Total: 100}, 0},
+		{"midway", Progress{Retired: 50, Total: 100}, 0.5},
+		{"exact", Progress{Retired: 100, Total: 100}, 1},
+		{"overshoot clamps", Progress{Retired: 150, Total: 100}, 1},
+	}
+	for _, tc := range cases {
+		if got := tc.p.Fraction(); got != tc.want {
+			t.Errorf("%s: Fraction() = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestProgressMonotonicUnderOvershoot drives a session with step sizes
+// far larger than the remaining budget: Retired and Fraction must be
+// non-decreasing, the phase must only ever move forward
+// (warmup → measure → done), and stepping a finished session must stay
+// done without moving Progress.
+func TestProgressMonotonicUnderOvershoot(t *testing.T) {
+	cfg := sessionTestConfig("mcf")
+	sess, err := NewSession(cfg, cfg.Workload, "NoCache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step far past the whole budget every time: Step's contract is "at
+	// least n", so overshoot must exhaust the run, not wrap or stall.
+	step := cfg.InstrPerCore * uint64(cfg.Cores) * 3
+	var last Progress
+	lastFrac := 0.0
+	for i := 0; ; i++ {
+		done, err := sess.Step(step)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := sess.Progress()
+		if p.Retired < last.Retired {
+			t.Fatalf("Retired went backwards: %d -> %d", last.Retired, p.Retired)
+		}
+		if f := p.Fraction(); f < lastFrac {
+			t.Fatalf("Fraction went backwards: %v -> %v", lastFrac, f)
+		} else {
+			lastFrac = f
+		}
+		if p.Phase < last.Phase {
+			t.Fatalf("phase went backwards: %v -> %v", last.Phase, p.Phase)
+		}
+		last = p
+		if done {
+			break
+		}
+		if i > 10 {
+			t.Fatal("run did not finish despite overshooting steps")
+		}
+	}
+	if last.Phase != stats.PhaseDone || last.Fraction() != 1 {
+		t.Fatalf("terminal progress = %+v (Fraction %v), want done at 1", last, last.Fraction())
+	}
+	// A finished session is terminal: further steps report done and
+	// leave progress exactly where it was.
+	for i := 0; i < 2; i++ {
+		done, err := sess.Step(step)
+		if err != nil || !done {
+			t.Fatalf("Step after completion = (%v, %v), want (true, nil)", done, err)
+		}
+	}
+	if p := sess.Progress(); p != last {
+		t.Errorf("progress moved after completion: %+v -> %+v", last, p)
+	}
+}

@@ -126,6 +126,10 @@ func (s *Session) OnEpoch(every uint64, fn func(stats.Snapshot)) {
 	s.sys.OnEpoch(every, fn)
 }
 
+// MSHRStalls reports MSHR-full stall events and the core cycles lost
+// to them; see System.MSHRStalls.
+func (s *Session) MSHRStalls() (stalls, cycles uint64) { return s.sys.MSHRStalls() }
+
 // Err returns the session's terminal error, if any.
 func (s *Session) Err() error { return s.sys.Err() }
 

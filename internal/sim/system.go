@@ -64,6 +64,14 @@ type System struct {
 	warmed   bool
 	warmMark mark // counters at the end of warmup
 
+	// MSHR back-pressure diagnostics: how often a core's miss window
+	// filled and how many cycles it lost waiting for the earliest
+	// outstanding completion. System-level observability counters (whole
+	// run, not warmup-windowed) — deliberately not part of stats.Sim, so
+	// the reported statistics schema is unchanged.
+	mshrStalls      uint64
+	mshrStallCycles uint64
+
 	// Stepper state: the run is a resumable loop over the core heap,
 	// advanced by Step in instruction-count increments. The warmup
 	// snapshot, epoch samples, and the final measurement window are all
@@ -383,6 +391,14 @@ func (s *System) closeSource() {
 	}
 }
 
+// MSHRStalls reports how many times a core's MSHR window filled and
+// stalled the core, and the total core cycles lost to those stalls.
+// Cumulative over the whole run (warmup included) — a structural
+// back-pressure diagnostic, not a windowed measurement.
+func (s *System) MSHRStalls() (stalls, cycles uint64) {
+	return s.mshrStalls, s.mshrStallCycles
+}
+
 // Done reports whether the run has completed (or failed terminally).
 func (s *System) Done() bool { return s.finished }
 
@@ -609,6 +625,8 @@ func (s *System) llcMiss(c *core, a mem.Addr, write bool, pte vm.PTE) {
 	}
 	if len(c.outstanding) >= s.cfg.MSHRs {
 		if c.outMin > c.time {
+			s.mshrStalls++
+			s.mshrStallCycles += c.outMin - c.time
 			c.time = c.outMin
 		}
 		c.drain()
