@@ -82,6 +82,25 @@
 //		Workloads: banshee.Workloads(), Schemes: banshee.Schemes()}
 //	rs, err := banshee.RunBatch(ctx, m, banshee.BatchOptions{Out: "sweep.jsonl", Resume: true})
 //
+// # Sweep service
+//
+// The same batch engine runs as a long-running service: cmd/sweepd
+// hosts sweeps behind an HTTP/JSON API, sharding content-keyed jobs
+// across a local pool and optionally across attached worker processes
+// pulling job leases. Dial a daemon and drive it with SweepClient —
+// Submit/SubmitMatrix to start a sweep (idempotent: the same spec is
+// the same sweep), StreamResults to follow its checkpoint JSONL with
+// resume-from-offset, RunMatrix for the remote counterpart of
+// RunBatch. Results are byte-identical to a local RunBatch of the same
+// Matrix — a SIGKILL'd daemon restarts from its state directory and
+// converges to the same bytes. JobKey and SweepID expose the content
+// keys so clients can correlate streamed records, ledger entries, and
+// status output without reimplementing the hash:
+//
+//	c, err := banshee.Dial("localhost:8080")
+//	st, err := c.SubmitMatrix(ctx, m, banshee.SweepOptions{})
+//	_, err = c.StreamResults(ctx, st.ID, 0, os.Stdout)
+//
 // # Scheme registry
 //
 // Scheme selection is table-driven: every design registers a kind, its
@@ -124,6 +143,7 @@ import (
 	"banshee/internal/runner"
 	"banshee/internal/sim"
 	"banshee/internal/stats"
+	"banshee/internal/sweepd"
 	"banshee/internal/trace"
 	"banshee/internal/workload"
 )
@@ -435,18 +455,24 @@ type BatchOptions struct {
 // success stream byte-identical to a run in which those jobs never
 // enumerated ahead of it. See the package documentation for the sweep
 // flow.
-func RunBatch(ctx context.Context, m Matrix, o BatchOptions) (*BatchResult, error) {
+func RunBatch(ctx context.Context, m Matrix, o BatchOptions) (rs *BatchResult, err error) {
 	eng := runner.Engine{Parallelism: o.Parallelism, Progress: o.Progress,
 		Retry: o.Retry, JobTimeout: o.JobTimeout, KeepGoing: o.KeepGoing,
 		GangWidth: o.GangWidth, ProgressEvery: o.ProgressEvery, EpochEvery: o.EpochEvery}
 	if o.MetricsAddr != "" {
 		reg := obs.NewRegistry()
 		reg.RegisterRuntime()
-		srv, err := obs.Serve(o.MetricsAddr, reg)
-		if err != nil {
-			return nil, err
+		srv, serr := obs.Serve(o.MetricsAddr, reg)
+		if serr != nil {
+			return nil, serr
 		}
-		defer srv.Close()
+		// Drain the exposition endpoint when the batch ends and surface
+		// its close error instead of abandoning the listener goroutine.
+		defer func() {
+			if cerr := srv.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
 		eng.Metrics = reg
 	}
 	if o.TraceFile != "" {
@@ -466,13 +492,74 @@ func RunBatch(ctx context.Context, m Matrix, o BatchOptions) (*BatchResult, erro
 			defer eng.Ledger.Close()
 		}
 	}
-	rs, err := eng.Run(ctx, m)
+	rs, err = eng.Run(ctx, m)
 	if eng.Tracer != nil {
 		if werr := eng.Tracer.WriteFile(o.TraceFile); werr != nil && err == nil {
 			err = werr
 		}
 	}
 	return rs, err
+}
+
+// BatchJob is one fully resolved simulation of a batch: the sweep
+// coordinate (workload, scheme, point label, seed), the resolved
+// config, and the content-derived job ID the checkpoint machinery
+// keys on. Matrix.Jobs enumerates them in sink order.
+type BatchJob = runner.Job
+
+// JobKey returns the content key a fully resolved configuration gets
+// as its batch-job ID: a short hex digest over every field of cfg.
+// Two jobs share a key exactly when their resolved configs are equal,
+// which is what lets streamed records, ledger entries, resumed sinks,
+// and sweep status be correlated without positional bookkeeping.
+func JobKey(cfg Config) string { return runner.JobKey(cfg) }
+
+// SweepID derives the content ID a sweep service assigns to a job
+// list resolved under the given matrix name — the same identity
+// SweepClient.Submit reports, computable offline from Matrix.Jobs.
+func SweepID(name string, jobs []BatchJob) string { return sweepd.SweepID(name, jobs) }
+
+// SweepClient talks to a sweepd daemon (cmd/sweepd) over HTTP/JSON:
+// Submit/SubmitMatrix start sweeps, Status/List/Cancel/Wait manage
+// them, StreamResults/StreamEpochs follow their JSONL streams with
+// resume-from-offset, and RunMatrix is the remote counterpart of
+// RunBatch, returning an assembled BatchResult.
+type SweepClient = sweepd.Client
+
+// SweepSpec is the wire form of a sweep: declarative axes (the Matrix
+// cross product) or a pre-resolved job list, plus execution options.
+type SweepSpec = sweepd.Spec
+
+// SweepPoint is the serializable form of a config-override point: a
+// label plus a partial Config JSON overlay.
+type SweepPoint = sweepd.PointSpec
+
+// SweepOptions is a sweep's execution policy (retries, timeouts, gang
+// width, epoch sampling). Policy is not content: it never changes the
+// output bytes and is excluded from the sweep ID.
+type SweepOptions = sweepd.RunOptions
+
+// SweepStatus reports one sweep's identity, state, and job progress.
+type SweepStatus = sweepd.Status
+
+// Sweep lifecycle states, as reported by SweepStatus.State.
+const (
+	SweepQueued    = sweepd.StateQueued
+	SweepRunning   = sweepd.StateRunning
+	SweepDone      = sweepd.StateDone
+	SweepFailed    = sweepd.StateFailed
+	SweepCancelled = sweepd.StateCancelled
+)
+
+// Dial returns a client for the sweepd daemon at addr ("host:port" or
+// a full http:// URL). No connection is made until the first call.
+func Dial(addr string) (*SweepClient, error) { return sweepd.Dial(addr) }
+
+// SweepSpecFromMatrix renders a locally declared Matrix into its wire
+// form by enumerating its jobs — the bridge from closure-bearing
+// MatrixPoints to the serializable SweepSpec.
+func SweepSpecFromMatrix(m Matrix, o SweepOptions) (SweepSpec, error) {
+	return sweepd.SpecFromMatrix(m, o)
 }
 
 // failedOutPath derives the failure-ledger path from the options.

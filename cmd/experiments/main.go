@@ -27,6 +27,15 @@
 // seed or back-end knobs — see DESIGN.md §12) as one lockstep gang;
 // every output file stays byte-identical to an ungrouped run.
 //
+// With -remote ADDR each matrix is submitted to a running sweepd
+// daemon instead of simulated locally: the daemon executes the jobs
+// (sharded across its attached workers), streams back records
+// byte-identical to a local run, and the tables render from them as
+// usual. Submission is idempotent — a ^C only detaches this client;
+// the sweeps continue server-side, observable with sweepctl, and a
+// re-run with the same flags reattaches and completes from whatever
+// already finished.
+//
 // The -cpuprofile/-memprofile flags write pprof profiles of the suite
 // (same contract as bansheesim's): `go tool pprof experiments cpu.prof`.
 //
@@ -84,6 +93,7 @@ func run() (code int) {
 		gang       = flag.Int("gang", 0, "run up to N gang-eligible jobs as one lockstep gang (0 = off)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the suite to this file")
 		memProf    = flag.String("memprofile", "", "write an allocation profile at exit to this file")
+		remote     = flag.String("remote", "", "submit matrices to the sweepd daemon at this address instead of running locally")
 		metrics    = flag.String("metrics", "", "serve live sweep telemetry over HTTP on this address (e.g. :6060): /metrics, /debug/vars, /debug/pprof")
 		traceFile  = flag.String("tracefile", "", "write the suite's sweep timeline as Chrome trace_event JSON to this file")
 		progEvery  = flag.Duration("progress-every", 0, "with -v, replace per-job lines with one summary line per interval (0 = per-job lines)")
@@ -129,8 +139,8 @@ func run() (code int) {
 
 	o := exp.Options{Ctx: ctx, Instr: *instr, Seed: *seed, Intensity: *intensity,
 		Out: *out, Resume: *resume, KeepGoing: *keepGoing, JobTimeout: *jobTimeout,
-		GangWidth: *gang,
-		Retry:     runner.RetryPolicy{MaxAttempts: *retries, BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second}}
+		GangWidth: *gang, Remote: *remote,
+		Retry: runner.RetryPolicy{MaxAttempts: *retries, BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second}}
 	if *resume && *out == "" {
 		fmt.Fprintln(os.Stderr, "experiments: -resume requires -out")
 		return 1
@@ -177,9 +187,12 @@ func run() (code int) {
 			}
 			if errors.Is(err, exp.ErrCancelled) {
 				stop()
-				if *out != "" {
+				switch {
+				case *remote != "":
+					fmt.Fprintf(os.Stderr, "experiments: interrupted; submitted sweeps continue server-side on %s — watch them with `sweepctl -addr %s list` / `sweepctl stream`, or re-run with the same flags to reattach\n", *remote, *remote)
+				case *out != "":
 					fmt.Fprintln(os.Stderr, "experiments: interrupted; results so far are a clean prefix — re-run with -resume to complete")
-				} else {
+				default:
 					fmt.Fprintln(os.Stderr, "experiments: interrupted")
 				}
 				code = 130

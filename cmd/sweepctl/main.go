@@ -1,0 +1,236 @@
+// Command sweepctl is the thin control client for a running sweepd:
+// submit a sweep spec, inspect status, stream results, and cancel.
+//
+// Usage:
+//
+//	sweepctl -addr :8080 submit spec.json     # or '-' for stdin
+//	sweepctl -addr :8080 list
+//	sweepctl -addr :8080 status  <sweep-id>
+//	sweepctl -addr :8080 stream  <sweep-id> [-offset N]
+//	sweepctl -addr :8080 epochs  <sweep-id> [-offset N]
+//	sweepctl -addr :8080 ledger  <sweep-id>
+//	sweepctl -addr :8080 cancel  <sweep-id>
+//	sweepctl -addr :8080 wait    <sweep-id>
+//
+// `submit` prints the sweep's content-derived ID and status; streams
+// write raw JSONL to stdout and follow the sweep live until it reaches
+// a terminal state, so `sweepctl stream` after a reconnect picks up
+// with -offset set to the byte count already captured.
+//
+// Exit codes follow the bansheesim convention: 0 clean, 1 error, 130
+// interrupted (a ^C during stream/wait; the sweep itself continues
+// server-side — resume with `sweepctl stream -offset N` or `wait`).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"banshee/internal/sweepd"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func usage() int {
+	fmt.Fprintln(os.Stderr, `usage: sweepctl [-addr HOST:PORT] COMMAND [ARGS]
+
+commands:
+  submit SPEC.json|-        submit a sweep spec (idempotent); prints id and status
+  list                      list sweeps
+  status  SWEEP-ID          one sweep's status
+  stream  SWEEP-ID [-offset N]   follow the results JSONL to stdout
+  epochs  SWEEP-ID [-offset N]   follow the epoch-series JSONL to stdout
+  ledger  SWEEP-ID          print the failure ledger JSONL
+  cancel  SWEEP-ID          stop a live sweep
+  wait    SWEEP-ID          block until the sweep is terminal; prints final status`)
+	return 1
+}
+
+func run() int {
+	fs := flag.NewFlagSet("sweepctl", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8080", "sweepd address, host:port or URL")
+	fs.Parse(os.Args[1:])
+	args := fs.Args()
+	if len(args) < 1 {
+		return usage()
+	}
+	c, err := sweepd.Dial(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepctl:", err)
+		return 1
+	}
+
+	// ^C cancels the in-flight call. For streams and waits that is an
+	// expected way out — the sweep keeps running server-side.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cmd, rest := args[0], args[1:]
+	err = dispatch(ctx, c, cmd, rest)
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "sweepctl: interrupted; the sweep continues server-side (resume with `sweepctl stream -offset N` or `sweepctl wait`)")
+		return 130
+	default:
+		fmt.Fprintln(os.Stderr, "sweepctl:", err)
+		return 1
+	}
+}
+
+func dispatch(ctx context.Context, c *sweepd.Client, cmd string, args []string) error {
+	switch cmd {
+	case "submit":
+		if len(args) != 1 {
+			return fmt.Errorf("submit needs exactly one spec file (or '-')")
+		}
+		return submit(ctx, c, args[0])
+	case "list":
+		sts, err := c.List(ctx)
+		if err != nil {
+			return err
+		}
+		for _, st := range sts {
+			printStatusLine(st)
+		}
+		return nil
+	case "status":
+		id, err := oneID(args)
+		if err != nil {
+			return err
+		}
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return err
+		}
+		return printJSON(st)
+	case "stream", "epochs":
+		sub := flag.NewFlagSet("sweepctl "+cmd, flag.ExitOnError)
+		offset := sub.Int64("offset", 0, "resume the stream at this byte offset")
+		id, err := oneID(parseSub(sub, args))
+		if err != nil {
+			return err
+		}
+		if cmd == "stream" {
+			_, err = c.StreamResults(ctx, id, *offset, os.Stdout)
+		} else {
+			_, err = c.StreamEpochs(ctx, id, *offset, os.Stdout)
+		}
+		return err
+	case "ledger":
+		id, err := oneID(args)
+		if err != nil {
+			return err
+		}
+		recs, err := c.Ledger(ctx, id)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(os.Stdout)
+		for _, r := range recs {
+			if err := enc.Encode(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "cancel":
+		id, err := oneID(args)
+		if err != nil {
+			return err
+		}
+		st, err := c.Cancel(ctx, id)
+		if err != nil {
+			return err
+		}
+		return printJSON(st)
+	case "wait":
+		id, err := oneID(args)
+		if err != nil {
+			return err
+		}
+		st, err := c.Wait(ctx, id, 500*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		if err := printJSON(st); err != nil {
+			return err
+		}
+		if st.State != sweepd.StateDone {
+			return fmt.Errorf("sweep ended %s", st.State)
+		}
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// parseSub lets per-command flags appear after the command word in any
+// order relative to the ID argument.
+func parseSub(fs *flag.FlagSet, args []string) []string {
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) > 0 {
+		// Allow "stream ID -offset N" too: reparse the remainder.
+		fs.Parse(rest[1:])
+		return rest[:1]
+	}
+	return rest
+}
+
+func oneID(args []string) (string, error) {
+	if len(args) != 1 {
+		return "", fmt.Errorf("expected exactly one sweep ID")
+	}
+	return args[0], nil
+}
+
+func submit(ctx context.Context, c *sweepd.Client, path string) error {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	var spec sweepd.Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return fmt.Errorf("bad spec: %w", err)
+	}
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	return printJSON(st)
+}
+
+func printJSON(v interface{}) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func printStatusLine(st sweepd.Status) {
+	extra := ""
+	if st.Failed > 0 {
+		extra = fmt.Sprintf("  failed=%d", st.Failed)
+	}
+	if st.Error != "" {
+		extra += "  error=" + st.Error
+	}
+	fmt.Printf("%s  %-24s %-10s %d/%d%s\n", st.ID, st.Name, st.State, st.Done, st.Jobs, extra)
+}

@@ -19,6 +19,7 @@ import (
 	"banshee/internal/obs"
 	"banshee/internal/runner"
 	"banshee/internal/sim"
+	"banshee/internal/sweepd"
 	"banshee/internal/trace"
 )
 
@@ -77,6 +78,16 @@ type Options struct {
 	// ProgressEvery, when positive with Progress set, replaces per-job
 	// progress lines with one rate-limited summary line per interval.
 	ProgressEvery time.Duration
+	// Remote, when set, submits every matrix to the sweepd daemon at
+	// this address ("host:port" or URL) instead of executing locally:
+	// the daemon runs the jobs (sharded across its attached workers),
+	// streams back the checkpoint records — byte-identical to a local
+	// run — and the aggregators consume the assembled results as usual.
+	// Execution policy (Retry, JobTimeout, KeepGoing, GangWidth) rides
+	// along in the sweep spec; local-run machinery (Out, Resume,
+	// Metrics, Tracer, Parallelism) is unused, since the daemon owns
+	// durable state and telemetry for its sweeps.
+	Remote string
 }
 
 func (o Options) workloads() []string {
@@ -143,6 +154,9 @@ func run(o Options, m runner.Matrix) *runner.ResultSet {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if o.Remote != "" {
+		return runRemote(ctx, o, m)
+	}
 	eng := runner.Engine{Parallelism: o.Parallelism, Progress: o.Progress,
 		Retry: o.Retry, JobTimeout: o.JobTimeout, KeepGoing: o.KeepGoing,
 		GangWidth: o.GangWidth, Metrics: o.Metrics, Tracer: o.Tracer,
@@ -170,6 +184,35 @@ func run(o Options, m runner.Matrix) *runner.ResultSet {
 	}
 	if failed := rs.Failed(); len(failed) > 0 && o.OnFailures != nil {
 		o.OnFailures(m.Name, failed, ledger)
+	}
+	return rs
+}
+
+// runRemote executes a matrix by submitting it to the sweepd daemon at
+// o.Remote and streaming the results back — the records are
+// byte-identical to a local run's, so the aggregators can't tell the
+// difference. Cancelling o.Ctx abandons only the client side: the
+// sweep keeps running server-side and a re-run with the same options
+// reattaches to it (submission is idempotent).
+func runRemote(ctx context.Context, o Options, m runner.Matrix) *runner.ResultSet {
+	c, err := sweepd.Dial(o.Remote)
+	if err != nil {
+		panic(fmt.Errorf("exp: matrix %s: %w", m.Name, err))
+	}
+	rs, err := c.RunMatrix(ctx, m, sweepd.RunOptions{
+		GangWidth:    o.GangWidth,
+		Retries:      o.Retry.MaxAttempts,
+		JobTimeoutMs: o.JobTimeout.Milliseconds(),
+		KeepGoing:    o.KeepGoing,
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			panic(fmt.Errorf("%w: matrix %s: %v", ErrCancelled, m.Name, err))
+		}
+		panic(fmt.Errorf("exp: matrix %s failed remotely: %w", m.Name, err))
+	}
+	if failed := rs.Failed(); len(failed) > 0 && o.OnFailures != nil {
+		o.OnFailures(m.Name, failed, "")
 	}
 	return rs
 }

@@ -1,33 +1,62 @@
 package obs
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
-// Server is a live exposition endpoint for one registry:
+// Server is a managed HTTP listener lifecycle: eager bind (a bad
+// address fails at startup, not at first request), background serving,
+// and a graceful shutdown that drains in-flight requests under a
+// deadline and surfaces the serve/close error instead of abandoning
+// the listener goroutine. obs uses it for metric exposition (Serve);
+// other long-running services (sweepd) reuse the same lifecycle via
+// ServeHandler.
+type Server struct {
+	ln     net.Listener
+	srv    *http.Server
+	served chan error // Serve's return value, delivered exactly once
+
+	down    sync.Once
+	downErr error
+}
+
+// Serve binds addr (host:port; :0 picks a free port) and serves r's
+// metric exposition endpoints:
 //
 //	/metrics      Prometheus text (or JSON with ?format=json)
 //	/debug/vars   the same series as one JSON object
 //	/debug/pprof  the standard net/http/pprof handlers
-//
-// It binds eagerly (a bad address fails at startup, not at first
-// scrape) and serves in a background goroutine until Close.
-type Server struct {
-	ln  net.Listener
-	srv *http.Server
+func Serve(addr string, r *Registry) (*Server, error) {
+	return ServeHandler(addr, MetricsMux(r))
 }
 
-// Serve binds addr (host:port; :0 picks a free port) and serves r.
-func Serve(addr string, r *Registry) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("obs: metrics listener: %w", err)
-	}
+// MetricsMux returns the metric exposition handler Serve mounts — for
+// embedding the same endpoints into a larger mux (a service that also
+// exposes its own API).
+func MetricsMux(r *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
+	HandleMetrics(mux, r)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "banshee metrics\n\n/metrics\n/metrics?format=json\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// HandleMetrics mounts the exposition endpoints (/metrics, /debug/vars,
+// /debug/pprof) on an existing mux, leaving the root path to the
+// caller.
+func HandleMetrics(mux *http.ServeMux, r *Registry) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Query().Get("format") == "json" {
 			w.Header().Set("Content-Type", "application/json")
@@ -46,21 +75,53 @@ func Serve(addr string, r *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
-		if req.URL.Path != "/" {
-			http.NotFound(w, req)
-			return
-		}
-		fmt.Fprint(w, "banshee metrics\n\n/metrics\n/metrics?format=json\n/debug/vars\n/debug/pprof/\n")
-	})
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
-	go s.srv.Serve(ln)
+}
+
+// ServeHandler binds addr and serves h in a background goroutine until
+// Shutdown or Close.
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listener: %w", err)
+	}
+	s := &Server{ln: ln,
+		srv:    &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second},
+		served: make(chan error, 1)}
+	go func() { s.served <- s.srv.Serve(ln) }()
 	return s, nil
 }
 
 // Addr returns the bound address ("127.0.0.1:6060") — the resolved
-// port when Serve was given ":0".
+// port when the server was given ":0".
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and releases the listener.
-func (s *Server) Close() error { return s.srv.Close() }
+// Shutdown stops accepting connections, drains in-flight requests
+// until ctx expires (then forcibly closes what remains), and returns
+// the first error the serve or close path hit — an abnormal
+// Serve return is no longer lost to an abandoned goroutine. Repeated
+// calls return the first call's result.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.down.Do(func() {
+		err := s.srv.Shutdown(ctx)
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			// Drain deadline blown: in-flight requests are out of time.
+			err = nil
+			if cerr := s.srv.Close(); cerr != nil {
+				err = cerr
+			}
+		}
+		if serr := <-s.served; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+			err = serr
+		}
+		s.downErr = err
+	})
+	return s.downErr
+}
+
+// Close is Shutdown with a default 5-second drain deadline — the
+// lifecycle every metrics endpoint embedded in a batch run uses.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.Shutdown(ctx)
+}

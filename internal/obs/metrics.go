@@ -130,7 +130,21 @@ type metric struct {
 // registers its set once per run; every job's sampler then resolves
 // the same counters). Mismatched re-registration (same name, different
 // kind) panics — metric names are code, not input.
+//
+// A Registry value is a view over shared storage: With returns a view
+// that bakes an extra label pair into every series name registered
+// through it, so one exposition endpoint can carry the same engine
+// instrument panel once per sweep ("banshee_jobs_total{state=\"done\",
+// sweep=\"9f2c\"}") without the instrumented code knowing about sweeps.
 type Registry struct {
+	s *regState
+	// labels is the rendered label set this view splices into every
+	// registered name ("" for the root view).
+	labels string
+}
+
+// regState is the storage every view of one registry shares.
+type regState struct {
 	mu      sync.Mutex
 	byName  map[string]*metric
 	start   time.Time
@@ -139,7 +153,33 @@ type Registry struct {
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byName: map[string]*metric{}, start: time.Now()}
+	return &Registry{s: &regState{byName: map[string]*metric{}, start: time.Now()}}
+}
+
+// With returns a view of the registry that adds `key="value"` to every
+// series name registered through it, composing with any labels already
+// baked into the name or the view. Views share the registry's storage:
+// exposition over any view renders every series.
+func (r *Registry) With(key, value string) *Registry {
+	pair := fmt.Sprintf("%s=%q", key, value)
+	labels := r.labels
+	if labels != "" {
+		labels += ","
+	}
+	return &Registry{s: r.s, labels: labels + pair}
+}
+
+// spliceLabels merges the view's label set into a series name:
+// `a_total` → `a_total{sweep="x"}`, `a_total{state="done"}` →
+// `a_total{state="done",sweep="x"}`.
+func (r *Registry) spliceLabels(name string) string {
+	if r.labels == "" {
+		return name
+	}
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:len(name)-1] + "," + r.labels + "}"
+	}
+	return name + "{" + r.labels + "}"
 }
 
 // family is the series' base name: the part before any baked-in label
@@ -151,11 +191,13 @@ func family(name string) string {
 	return name
 }
 
-// register installs (or returns) the series under name.
+// register installs (or returns) the series under name, with the
+// view's label set spliced in.
 func (r *Registry) register(name, help, kind string) *metric {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if m, ok := r.byName[name]; ok {
+	name = r.spliceLabels(name)
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	if m, ok := r.s.byName[name]; ok {
 		if m.kind != kind {
 			panic(fmt.Sprintf("obs: %s re-registered as %s (was %s)", name, kind, m.kind))
 		}
@@ -170,7 +212,7 @@ func (r *Registry) register(name, help, kind string) *metric {
 	case "histogram":
 		m.hist = &Histogram{}
 	}
-	r.byName[name] = m
+	r.s.byName[name] = m
 	return m
 }
 
@@ -197,30 +239,30 @@ func (r *Registry) Histogram(name, help string) *Histogram {
 // depths, runtime stats). Re-registering an existing name replaces fn.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	m := r.register(name, help, "gauge")
-	r.mu.Lock()
+	r.s.mu.Lock()
 	m.gauge, m.fn = nil, fn
-	r.mu.Unlock()
+	r.s.mu.Unlock()
 }
 
 // CounterFunc is GaugeFunc for monotone sources: the series is typed
 // counter in the exposition.
 func (r *Registry) CounterFunc(name, help string, fn func() float64) {
 	m := r.register(name, help, "counter")
-	r.mu.Lock()
+	r.s.mu.Lock()
 	m.counter, m.fn, m.fnMonotone = nil, fn, true
-	r.mu.Unlock()
+	r.s.mu.Unlock()
 }
 
 // RegisterRuntime adds process-level series (goroutines, heap bytes,
 // uptime) useful on any live exposition endpoint. Idempotent.
 func (r *Registry) RegisterRuntime() {
-	r.mu.Lock()
-	if r.runtime {
-		r.mu.Unlock()
+	r.s.mu.Lock()
+	if r.s.runtime {
+		r.s.mu.Unlock()
 		return
 	}
-	r.runtime = true
-	r.mu.Unlock()
+	r.s.runtime = true
+	r.s.mu.Unlock()
 	r.GaugeFunc("banshee_goroutines", "live goroutines", func() float64 {
 		return float64(runtime.NumGoroutine())
 	})
@@ -230,19 +272,19 @@ func (r *Registry) RegisterRuntime() {
 		return float64(ms.HeapAlloc)
 	})
 	r.GaugeFunc("banshee_uptime_seconds", "seconds since the registry was created", func() float64 {
-		return time.Since(r.start).Seconds()
+		return time.Since(r.s.start).Seconds()
 	})
 }
 
 // sorted returns the registered series sorted by name, families
 // contiguous.
 func (r *Registry) sorted() []*metric {
-	r.mu.Lock()
-	out := make([]*metric, 0, len(r.byName))
-	for _, m := range r.byName {
+	r.s.mu.Lock()
+	out := make([]*metric, 0, len(r.s.byName))
+	for _, m := range r.s.byName {
 		out = append(out, m)
 	}
-	r.mu.Unlock()
+	r.s.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
 	return out
 }

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestShutdownDrainsInFlight: Shutdown with headroom waits for an
+// in-flight request to finish, then stops accepting.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	s, err := ServeHandler("127.0.0.1:0", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		io.WriteString(w, "drained")
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + s.Addr() + "/")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- result{body: string(b), err: err}
+	}()
+	<-entered
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownErr <- s.Shutdown(ctx)
+	}()
+	// The request is still being handled; give Shutdown a moment to
+	// start draining, then let the handler finish.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	if r := <-got; r.err != nil || r.body != "drained" {
+		t.Fatalf("in-flight request: body=%q err=%v, want a drained response", r.body, r.err)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := net.DialTimeout("tcp", s.Addr(), 200*time.Millisecond); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
+	}
+}
+
+// TestShutdownDeadlineForcesClose: a handler that never returns cannot
+// hold Shutdown past its drain deadline — the server force-closes and
+// Shutdown comes back without error.
+func TestShutdownDeadlineForcesClose(t *testing.T) {
+	stuck := make(chan struct{})
+	s, err := ServeHandler("127.0.0.1:0", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(stuck)
+		<-r.Context().Done() // hold the connection until force-close
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go http.Get("http://" + s.Addr() + "/") //nolint:errcheck — aborted by the force-close
+	<-stuck
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.Shutdown(ctx) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown after blown drain deadline: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown hung past its drain deadline")
+	}
+}
+
+// TestShutdownIdempotent: repeated Shutdown/Close calls all return the
+// first call's result instead of racing the lifecycle.
+func TestShutdownIdempotent(t *testing.T) {
+	s, err := ServeHandler("127.0.0.1:0", http.NewServeMux())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close after Shutdown: %v", err)
+	}
+}

@@ -57,6 +57,17 @@ type Engine struct {
 	// Fault-injection seam: chaos harnesses wrap the default to
 	// inject panics, errors, and stalls around real simulations.
 	JobRunner JobRunner
+	// Dispatch, when non-nil, is offered every singleton job attempt
+	// before it executes locally — the job-leasing seam a sweep service
+	// uses to shard work across attached worker processes. A declined
+	// offer (ok=false: no worker attached, none picked the job up in
+	// time, or its lease expired) runs the attempt locally instead, so
+	// a fleet losing its last worker degrades to a local sweep rather
+	// than stalling. An accepted offer's result (or error) is the
+	// attempt's result: remote attempts retry, ledger, and count
+	// exactly like local ones. Gang groups never dispatch — lockstep
+	// lanes need the shared in-process front end.
+	Dispatch Dispatcher
 
 	// GangWidth, when ≥ 2, lets the engine execute up to that many
 	// adjacent gang-eligible jobs as one lockstep gang (sim.Gang):
@@ -130,7 +141,17 @@ func (e Engine) Run(ctx context.Context, m Matrix) (*ResultSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	rs := &ResultSet{matrix: m.Name, baseSeed: m.baseSeed(),
+	return e.RunJobs(ctx, m.Name, m.baseSeed(), jobs)
+}
+
+// RunJobs executes an already-enumerated job list under the matrix
+// name — the entry point for callers that ship resolved jobs across a
+// process boundary (a sweep service accepting wire specs) instead of
+// re-enumerating a Matrix. Semantics are exactly Run's: the jobs'
+// order is the enumeration order the sink contract is defined over,
+// so the same list always converges to the same bytes.
+func (e Engine) RunJobs(ctx context.Context, name string, baseSeed uint64, jobs []Job) (*ResultSet, error) {
+	rs := &ResultSet{matrix: name, baseSeed: baseSeed,
 		byCoord: make(map[string]Record, len(jobs)), failedBy: map[string]Record{}}
 	if e.Ledger != nil {
 		if err := e.Ledger.Reset(); err != nil {
@@ -520,7 +541,7 @@ func (e Engine) Run(ctx context.Context, m Matrix) (*ResultSet, error) {
 	}
 	if e.Progress != nil {
 		fmt.Fprintf(e.Progress, "matrix %s: %d jobs, %d cached, %d executed, %d failed\n",
-			m.Name, len(jobs), rs.Cached, rs.Executed, len(rs.failed))
+			name, len(jobs), rs.Cached, rs.Executed, len(rs.failed))
 	}
 	return rs, nil
 }

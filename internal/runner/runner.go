@@ -135,6 +135,48 @@ func jobID(cfg sim.Config) string {
 	return hex.EncodeToString(sum[:8])
 }
 
+// JobKey returns the content key of a fully resolved configuration —
+// the ID a batch job with this exact config carries in streamed
+// records, ledger entries, and sweep status output. Clients correlate
+// those streams by recomputing the key instead of reimplementing the
+// hash.
+func JobKey(cfg sim.Config) string { return jobID(cfg) }
+
+// JobKey resolves the job at one coordinate of the matrix — (point
+// label, workload, scheme, seed) — exactly as Jobs would, and returns
+// its content key. The label must name one of the matrix's points
+// ("" when the matrix declares none); workload and scheme resolve the
+// same way enumeration resolves them, so the returned key matches the
+// enumerated job's ID whenever the coordinate is in the matrix.
+func (m Matrix) JobKey(label, workload, scheme string, seed uint64) (string, error) {
+	points := m.Points
+	if len(points) == 0 {
+		points = []Point{{}}
+	}
+	var point *Point
+	for i := range points {
+		if points[i].Label == label {
+			point = &points[i]
+			break
+		}
+	}
+	if point == nil {
+		return "", fmt.Errorf("runner: matrix %q has no point labelled %q", m.Name, label)
+	}
+	cfg := m.Base
+	cfg.Workload = workload
+	cfg.Seed = seed
+	spec, err := sim.ResolveScheme(scheme, cfg.Scheme)
+	if err != nil {
+		return "", fmt.Errorf("runner: matrix %q: %w", m.Name, err)
+	}
+	cfg.Scheme = spec
+	if point.Mutate != nil {
+		point.Mutate(&cfg)
+	}
+	return jobID(cfg), nil
+}
+
 // Record is one job as stored in the JSONL sink (successes) or the
 // failure ledger (permanent failures). Success records carry a Result
 // and leave the failure fields zero — their JSON encoding is exactly
@@ -200,3 +242,22 @@ func (rs *ResultSet) Records() []Record { return rs.records }
 // coordinates plus Attempts/Error/Panicked and an empty Result. Empty
 // on an unsupervised (fail-fast) or fully successful run.
 func (rs *ResultSet) Failed() []Record { return rs.failed }
+
+// AssembleResultSet indexes records obtained elsewhere — streamed from
+// a remote sweep service rather than executed here — into the
+// ResultSet the aggregators consume. records and failed keep their
+// given order; Executed/Cached stay zero (the remote engine did the
+// counting).
+func AssembleResultSet(name string, baseSeed uint64, records, failed []Record) *ResultSet {
+	rs := &ResultSet{matrix: name, baseSeed: baseSeed,
+		byCoord: make(map[string]Record, len(records)), failedBy: map[string]Record{}}
+	for _, r := range records {
+		rs.records = append(rs.records, r)
+		rs.byCoord[coordKey(r.Matrix, r.Label, r.Workload, r.Scheme, r.Seed)] = r
+	}
+	for _, f := range failed {
+		rs.failed = append(rs.failed, f)
+		rs.failedBy[coordKey(f.Matrix, f.Label, f.Workload, f.Scheme, f.Seed)] = f
+	}
+	return rs
+}

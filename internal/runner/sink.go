@@ -128,6 +128,46 @@ func decodeLine(line []byte) (Record, bool) {
 	return r, true
 }
 
+// ParseRecords decodes a complete checkpoint JSONL stream — the sink's
+// on-disk and over-the-wire format — validating every line's CRC.
+// Unlike resume (which tolerates a torn tail), a short, torn, or
+// corrupt stream is an error: callers parse streams a server declared
+// complete, so damage means transport or service trouble, not an
+// interrupted run.
+func ParseRecords(data []byte) ([]Record, error) {
+	var recs []Record
+	for off := 0; len(data[off:]) > 0; {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			return nil, fmt.Errorf("runner: record stream: torn trailing line at byte %d", off)
+		}
+		r, ok := decodeLine(data[off : off+nl])
+		if !ok {
+			return nil, fmt.Errorf("runner: record stream: corrupt record at byte %d", off)
+		}
+		recs = append(recs, r)
+		off += nl + 1
+	}
+	return recs, nil
+}
+
+// ParseLedger decodes a failure-ledger JSONL stream (plain JSON lines,
+// no CRC suffix — matching what Ledger.Append writes).
+func ParseLedger(data []byte) ([]Record, error) {
+	var recs []Record
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			return nil, fmt.Errorf("runner: ledger stream: %w", err)
+		}
+		recs = append(recs, r)
+	}
+	return recs, nil
+}
+
 // Loaded returns the records read at open time (resume only).
 func (s *Sink) Loaded() []Record { return s.loaded }
 

@@ -30,6 +30,20 @@ func SimulateJob(ctx context.Context, job Job) (stats.Sim, error) {
 	return sess.Run(ctx)
 }
 
+// Dispatcher offers job attempts for out-of-process execution — the
+// leasing seam between the engine and a sweep service's attached
+// workers. Dispatch blocks until the attempt resolves one way or the
+// other: ok=true with a nil error is a completed remote attempt,
+// ok=true with an error a failed one (retried like any local
+// failure), and ok=false declines the offer (no worker attached, none
+// claimed the lease in time, or the lease expired) — the engine then
+// runs the attempt locally. Implementations must never return a
+// result for a lease they also re-issued: exactly one attempt outcome
+// per Dispatch call is what keeps the sink free of duplicates.
+type Dispatcher interface {
+	Dispatch(ctx context.Context, job Job) (stats.Sim, bool, error)
+}
+
 // RetryPolicy bounds how a supervised job is retried. The zero value
 // means a single attempt (no retries). Backoff is exponential from
 // BaseDelay, capped at MaxDelay, with deterministic jitter derived
@@ -100,6 +114,28 @@ func (e Engine) runSupervised(ctx context.Context, job Job, w int, em *engineMet
 			run = instrumentedJobRunner(e.Metrics, e.EpochEvery)
 		} else {
 			run = SimulateJob
+		}
+	}
+	if e.Dispatch != nil {
+		local := run
+		run = func(ctx context.Context, j Job) (stats.Sim, error) {
+			st, ok, err := e.Dispatch.Dispatch(ctx, j)
+			if !ok {
+				return local(ctx, j)
+			}
+			if em != nil {
+				em.remoteAttempts.Inc()
+				if err != nil {
+					em.remoteFailures.Inc()
+				}
+			}
+			if err == nil && e.Metrics != nil {
+				// Remote attempts bypass the in-process sampler; fold
+				// their finals so the sim totals still equal the sums
+				// over emitted results (the gang-lane rule).
+				foldFinals(e.Metrics, []stats.Sim{st})
+			}
+			return st, err
 		}
 	}
 	max := e.Retry.attempts()

@@ -1,0 +1,267 @@
+package sweepd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"banshee/internal/runner"
+)
+
+// Client talks to a sweepd daemon over HTTP/JSON. The zero HTTP
+// client has no global timeout — result streams are long-lived — so
+// per-call deadlines come from the caller's contexts.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Dial returns a client for the daemon at addr ("host:port" or a full
+// http:// URL). No connection is made until the first call.
+func Dial(addr string) (*Client, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("sweepd: empty daemon address")
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	addr = strings.TrimRight(addr, "/")
+	return &Client{base: addr, hc: &http.Client{}}, nil
+}
+
+// Base returns the daemon URL this client targets.
+func (c *Client) Base() string { return c.base }
+
+// do issues one JSON round trip. out may be nil. Non-2xx responses are
+// surfaced as *APIError carrying the HTTP status and the daemon's
+// error message.
+func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("sweepd: encode request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeAPIError(resp)
+	}
+	if out == nil || resp.StatusCode == http.StatusNoContent {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("sweepd: decode response: %w", err)
+	}
+	return nil
+}
+
+// APIError is a non-2xx daemon response.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("sweepd: daemon returned %d: %s", e.Status, e.Message)
+}
+
+func decodeAPIError(resp *http.Response) error {
+	var ae apiError
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if json.Unmarshal(b, &ae) != nil || ae.Error == "" {
+		ae.Error = strings.TrimSpace(string(b))
+	}
+	return &APIError{Status: resp.StatusCode, Message: ae.Error}
+}
+
+// IsNotFound reports whether err is the daemon saying "no such sweep".
+func IsNotFound(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusNotFound
+}
+
+// Submit sends a sweep spec and returns its status. Idempotent: the
+// same spec always resolves to the same sweep.
+func (c *Client) Submit(ctx context.Context, spec Spec) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodPost, "/v1/sweeps", spec, &st)
+	return st, err
+}
+
+// SubmitMatrix enumerates a locally declared Matrix and submits it as
+// a pre-resolved job list — the path for matrices whose Points carry
+// closures the wire can't express.
+func (c *Client) SubmitMatrix(ctx context.Context, m runner.Matrix, o RunOptions) (Status, error) {
+	spec, err := SpecFromMatrix(m, o)
+	if err != nil {
+		return Status{}, err
+	}
+	return c.Submit(ctx, spec)
+}
+
+// Status fetches one sweep's status.
+func (c *Client) Status(ctx context.Context, id string) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+id+"/status", nil, &st)
+	return st, err
+}
+
+// List fetches every sweep the daemon knows.
+func (c *Client) List(ctx context.Context) ([]Status, error) {
+	var sts []Status
+	err := c.do(ctx, http.MethodGet, "/v1/sweeps", nil, &sts)
+	return sts, err
+}
+
+// Cancel stops a live sweep, returning its terminal status.
+func (c *Client) Cancel(ctx context.Context, id string) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodPost, "/v1/sweeps/"+id+"/cancel", nil, &st)
+	return st, err
+}
+
+// Wait polls until the sweep reaches a terminal state (or ctx ends).
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (Status, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return Status{}, err
+		}
+		if st.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// stream copies one sweep stream into w starting at byte offset,
+// returning the bytes written. With follow, the copy lasts until the
+// sweep is terminal and drained; the caller resumes a broken stream by
+// calling again with offset advanced by the bytes it already has.
+func (c *Client) stream(ctx context.Context, id, kind string, offset int64, follow bool, w io.Writer) (int64, error) {
+	url := fmt.Sprintf("%s/v1/sweeps/%s/%s?offset=%d", c.base, id, kind, offset)
+	if !follow {
+		url += "&follow=0"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, decodeAPIError(resp)
+	}
+	return io.Copy(w, resp.Body)
+}
+
+// StreamResults streams the sweep's checkpoint JSONL into w from byte
+// offset until the sweep completes (follow mode). The bytes are
+// exactly the daemon's results file: CRC-checksummed records in
+// enumeration order, byte-identical to a local run of the same spec.
+func (c *Client) StreamResults(ctx context.Context, id string, offset int64, w io.Writer) (int64, error) {
+	return c.stream(ctx, id, "results", offset, true, w)
+}
+
+// StreamEpochs streams the sweep's epoch-series JSONL into w from byte
+// offset until the sweep completes.
+func (c *Client) StreamEpochs(ctx context.Context, id string, offset int64, w io.Writer) (int64, error) {
+	return c.stream(ctx, id, "epochs", offset, true, w)
+}
+
+// FetchResults returns the bytes of the results stream currently on
+// disk (no follow).
+func (c *Client) FetchResults(ctx context.Context, id string, offset int64, w io.Writer) (int64, error) {
+	return c.stream(ctx, id, "results", offset, false, w)
+}
+
+// Results streams the completed sweep's checkpoint to the end and
+// parses it. Call after Wait (or let follow mode do the waiting).
+func (c *Client) Results(ctx context.Context, id string) ([]runner.Record, error) {
+	var buf bytes.Buffer
+	if _, err := c.stream(ctx, id, "results", 0, true, &buf); err != nil {
+		return nil, err
+	}
+	return runner.ParseRecords(buf.Bytes())
+}
+
+// Ledger fetches and parses the sweep's failure ledger (empty when
+// every job succeeded).
+func (c *Client) Ledger(ctx context.Context, id string) ([]runner.Record, error) {
+	var buf bytes.Buffer
+	if _, err := c.stream(ctx, id, "ledger", 0, false, &buf); err != nil {
+		return nil, err
+	}
+	return runner.ParseLedger(buf.Bytes())
+}
+
+// RunMatrix is the remote counterpart of Engine.Run: submit the
+// matrix, wait for the sweep to finish, and assemble the streamed
+// records into the ResultSet the aggregators consume. A failed sweep
+// returns an error carrying the daemon's abort reason; a sweep with
+// KeepGoing failures returns normally with the failures indexed.
+func (c *Client) RunMatrix(ctx context.Context, m runner.Matrix, o RunOptions) (*runner.ResultSet, error) {
+	spec, err := SpecFromMatrix(m, o)
+	if err != nil {
+		return nil, err
+	}
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := c.Results(ctx, st.ID)
+	if err != nil {
+		return nil, err
+	}
+	final, err := c.Status(ctx, st.ID)
+	if err != nil {
+		return nil, err
+	}
+	switch final.State {
+	case StateDone:
+	case StateFailed:
+		return nil, fmt.Errorf("sweepd: sweep %s failed: %s", st.ID, final.Error)
+	default:
+		return nil, fmt.Errorf("sweepd: sweep %s ended %s", st.ID, final.State)
+	}
+	var failed []runner.Record
+	if final.Failed > 0 {
+		if failed, err = c.Ledger(ctx, st.ID); err != nil {
+			return nil, err
+		}
+	}
+	baseSeed := m.Base.Seed
+	if len(m.Seeds) > 0 {
+		baseSeed = m.Seeds[0]
+	}
+	return runner.AssembleResultSet(m.Name, baseSeed, recs, failed), nil
+}

@@ -1,0 +1,336 @@
+package sweepd
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"banshee/internal/obs"
+	"banshee/internal/runner"
+)
+
+// Options configures a Daemon. Zero values get sensible defaults.
+type Options struct {
+	// StateDir is the daemon's durable root (required): specs, sinks,
+	// ledgers, and done markers all live under it.
+	StateDir string
+	// Parallelism bounds each sweep's worker pool (0 = GOMAXPROCS).
+	Parallelism int
+	// MaxActive bounds concurrently running sweeps (0 = 2); further
+	// submissions queue in submission order.
+	MaxActive int
+	// LeaseTTL is the worker lease lifetime between renewals (0 = 10s).
+	LeaseTTL time.Duration
+	// Registry receives the daemon's service metrics and every sweep's
+	// engine metrics, label-scoped per sweep (nil = a fresh registry).
+	Registry *obs.Registry
+	// Log, when non-nil, receives engine progress lines and daemon
+	// lifecycle notes.
+	Log io.Writer
+}
+
+// Daemon is the sweep service: it owns the durable store, the lease
+// broker, and the set of live sweeps; Handler exposes all of it over
+// HTTP. Construction resumes every unfinished sweep found on disk —
+// recovery from a SIGKILL is just New on the same state dir.
+type Daemon struct {
+	opts   Options
+	store  *Store
+	broker *Broker
+	reg    *obs.Registry
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	sem        chan struct{}
+	wg         sync.WaitGroup
+
+	mu     sync.Mutex
+	sweeps map[string]*sweep
+	closed bool
+	// submitMu serializes Submit end to end: without it, two clients
+	// resubmitting the same failed sweep could race two engines onto
+	// one sink file. Submission is control-plane-rare; a single lock
+	// is fine.
+	submitMu sync.Mutex
+
+	active         *obs.Gauge
+	submitted      *obs.Counter
+	sweepsFinished *obs.Counter
+}
+
+// New builds a daemon over stateDir and resumes every sweep a
+// previous process left unfinished.
+func New(o Options) (*Daemon, error) {
+	if o.StateDir == "" {
+		return nil, fmt.Errorf("sweepd: Options.StateDir is required")
+	}
+	store, err := NewStore(o.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	reg := o.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	reg.RegisterRuntime()
+	if o.MaxActive <= 0 {
+		o.MaxActive = 2
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	d := &Daemon{
+		opts: o, store: store, reg: reg,
+		broker:  NewBroker(o.LeaseTTL, reg),
+		baseCtx: ctx, baseCancel: cancel,
+		sem:    make(chan struct{}, o.MaxActive),
+		sweeps: map[string]*sweep{},
+
+		active:         reg.Gauge("sweepd_sweeps_active", "sweeps holding a run slot right now"),
+		submitted:      reg.Counter("sweepd_sweeps_submitted_total", "sweep submissions accepted (idempotent resubmits included)"),
+		sweepsFinished: reg.Counter("sweepd_sweeps_finished_total", "sweeps reaching a terminal state"),
+	}
+	if err := d.resume(); err != nil {
+		cancel()
+		return nil, err
+	}
+	return d, nil
+}
+
+// Store exposes the daemon's durable store (read-only use: tests and
+// the CLI inspect state paths through it).
+func (d *Daemon) Store() *Store { return d.store }
+
+// Registry exposes the daemon's metric registry.
+func (d *Daemon) Registry() *obs.Registry { return d.reg }
+
+// Broker exposes the daemon's lease broker.
+func (d *Daemon) Broker() *Broker { return d.broker }
+
+// resume restarts every sweep on disk that never reached a terminal
+// state — the crashed-daemon recovery path. Each resumes through the
+// ordinary engine path: the sink loads its intact checkpoint prefix
+// and only the unfinished suffix re-runs.
+func (d *Daemon) resume() error {
+	ids, err := d.store.List()
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if _, done, err := d.store.LoadDone(id); err != nil {
+			return err
+		} else if done {
+			continue
+		}
+		spec, err := d.store.LoadSpec(id)
+		if err != nil {
+			// A sweep dir with no readable spec (crash between mkdir and
+			// spec commit) is unrecoverable but harmless: skip it.
+			if d.opts.Log != nil {
+				fmt.Fprintf(d.opts.Log, "sweepd: skipping unrecoverable sweep %s: %v\n", id, err)
+			}
+			continue
+		}
+		jobs, baseSeed, err := spec.Resolve()
+		if err != nil {
+			return fmt.Errorf("sweepd: resume %s: %w", id, err)
+		}
+		if got := SweepID(spec.Name, jobs); got != id {
+			return fmt.Errorf("sweepd: resume %s: stored spec resolves to sweep %s", id, got)
+		}
+		if d.opts.Log != nil {
+			fmt.Fprintf(d.opts.Log, "sweepd: resuming sweep %s (%s, %d jobs)\n", id, spec.Name, len(jobs))
+		}
+		d.start(id, spec, jobs, baseSeed)
+	}
+	return nil
+}
+
+// start registers and launches one sweep goroutine. Caller must not
+// hold d.mu; the sweep must already be persisted (spec on disk).
+func (d *Daemon) start(id string, spec Spec, jobs []runner.Job, baseSeed uint64) *sweep {
+	reg := d.reg.With("sweep", id)
+	ctx, cancel := context.WithCancel(d.baseCtx)
+	sw := &sweep{
+		id: id, spec: spec, jobs: jobs, baseSeed: baseSeed,
+		runCtx: ctx, cancel: cancel,
+		finished: make(chan struct{}),
+		cDone:    reg.Counter(`banshee_jobs_total{state="done"}`, "jobs by final state"),
+		cReused:  reg.Counter(`banshee_jobs_total{state="reused"}`, "jobs by final state"),
+		cFailed:  reg.Counter(`banshee_jobs_total{state="failed"}`, "jobs by final state"),
+	}
+	sw.baseDone = sw.cDone.Value()
+	sw.baseReused = sw.cReused.Value()
+	sw.baseFailed = sw.cFailed.Value()
+
+	d.mu.Lock()
+	d.sweeps[id] = sw
+	d.mu.Unlock()
+	d.wg.Add(1)
+	go d.run(sw)
+	return sw
+}
+
+// Submit accepts a sweep spec, returning its (content-derived) status.
+// Submission is idempotent: the same spec always maps to the same
+// sweep ID, so a resubmit of a live sweep just reports it, a resubmit
+// of a completed sweep returns its terminal status, and a resubmit of
+// a failed or cancelled sweep restarts it — resuming from its
+// checkpoint, converging toward the same final bytes.
+func (d *Daemon) Submit(spec Spec) (Status, error) {
+	jobs, baseSeed, err := spec.Resolve()
+	if err != nil {
+		return Status{}, err
+	}
+	id := SweepID(spec.Name, jobs)
+
+	d.submitMu.Lock()
+	defer d.submitMu.Unlock()
+
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return Status{}, fmt.Errorf("sweepd: daemon is shut down")
+	}
+	if sw, live := d.sweeps[id]; live {
+		st := sw.status()
+		if !st.Terminal() {
+			d.mu.Unlock()
+			d.submitted.Inc()
+			return st, nil
+		}
+		if st.State == StateDone {
+			d.mu.Unlock()
+			d.submitted.Inc()
+			return st, nil
+		}
+		// failed/cancelled: fall through to restart.
+	}
+	d.mu.Unlock()
+
+	if st, done, err := d.store.LoadDone(id); err != nil {
+		return Status{}, err
+	} else if done && st.State == StateDone {
+		d.submitted.Inc()
+		return st, nil
+	} else if done {
+		if err := d.store.ClearDone(id); err != nil {
+			return Status{}, err
+		}
+	}
+	if err := d.store.SaveSpec(id, spec); err != nil {
+		return Status{}, err
+	}
+	d.submitted.Inc()
+	return d.start(id, spec, jobs, baseSeed).status(), nil
+}
+
+// Cancel stops a live sweep. The engine abandons in-flight jobs at
+// their next step boundary; the checkpoint keeps its clean prefix, so
+// a later resubmit resumes rather than restarts. Cancelling a sweep
+// already in a terminal state is a no-op reporting that state.
+func (d *Daemon) Cancel(id string) (Status, error) {
+	d.mu.Lock()
+	sw, ok := d.sweeps[id]
+	d.mu.Unlock()
+	if !ok {
+		if st, done, err := d.store.LoadDone(id); err != nil {
+			return Status{}, err
+		} else if done {
+			return st, nil
+		}
+		return Status{}, errUnknownSweep(id)
+	}
+	if st := sw.status(); st.Terminal() {
+		return st, nil
+	}
+	sw.cancelled.Store(true)
+	sw.cancel()
+	<-sw.finished
+	return sw.status(), nil
+}
+
+// Status reports one sweep's state, live or from its done marker.
+func (d *Daemon) Status(id string) (Status, error) {
+	d.mu.Lock()
+	sw, ok := d.sweeps[id]
+	d.mu.Unlock()
+	if ok {
+		return sw.status(), nil
+	}
+	if st, done, err := d.store.LoadDone(id); err != nil {
+		return Status{}, err
+	} else if done {
+		return st, nil
+	}
+	return Status{}, errUnknownSweep(id)
+}
+
+// List reports every sweep the daemon knows: live ones plus terminal
+// ones on disk, sorted by ID.
+func (d *Daemon) List() ([]Status, error) {
+	ids, err := d.store.List()
+	if err != nil {
+		return nil, err
+	}
+	byID := map[string]Status{}
+	for _, id := range ids {
+		if st, err := d.Status(id); err == nil {
+			byID[id] = st
+		}
+	}
+	d.mu.Lock()
+	for id, sw := range d.sweeps {
+		if _, ok := byID[id]; !ok {
+			byID[id] = sw.status()
+		}
+	}
+	d.mu.Unlock()
+	keys := make([]string, 0, len(byID))
+	for id := range byID {
+		keys = append(keys, id)
+	}
+	sort.Strings(keys)
+	out := make([]Status, 0, len(keys))
+	for _, id := range keys {
+		out = append(out, byID[id])
+	}
+	return out, nil
+}
+
+// Wait blocks until sweep id reaches a terminal state (or ctx ends),
+// returning that state.
+func (d *Daemon) Wait(ctx context.Context, id string) (Status, error) {
+	d.mu.Lock()
+	sw, ok := d.sweeps[id]
+	d.mu.Unlock()
+	if ok {
+		select {
+		case <-sw.finished:
+		case <-ctx.Done():
+			return Status{}, ctx.Err()
+		}
+	}
+	return d.Status(id)
+}
+
+// Close stops the daemon: running sweeps are interrupted at their next
+// step boundary and left unfinished on disk (no done marker), so the
+// next New on the same state dir resumes them. Idempotent.
+func (d *Daemon) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+	d.baseCancel()
+	d.wg.Wait()
+	return nil
+}
+
+func errUnknownSweep(id string) error {
+	return fmt.Errorf("sweepd: no sweep %s", id)
+}

@@ -1,0 +1,223 @@
+package sweepd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"banshee/internal/runner"
+	"banshee/internal/sim"
+	"banshee/internal/stats"
+)
+
+// Worker is an attached worker process's pull loop: it long-polls the
+// daemon for job leases, simulates each leased job locally, renews the
+// lease while the simulation runs, and reports the outcome. Parallel
+// slots run independent loops, so one worker process can hold several
+// leases at once. A worker holds no durable state — killing one only
+// costs the jobs it was holding leases for, which the daemon re-runs
+// locally after the leases expire.
+type Worker struct {
+	// Client targets the daemon to join (required).
+	Client *Client
+	// Name identifies the worker in the daemon's liveness window; ""
+	// derives one from the hostname and PID.
+	Name string
+	// Parallel is the number of concurrent lease slots (0 = GOMAXPROCS).
+	Parallel int
+	// LeaseWait is the long-poll window per lease request (0 = 25s; the
+	// daemon caps it server-side).
+	LeaseWait time.Duration
+	// Log, when non-nil, receives one line per leased job and per
+	// outcome.
+	Log io.Writer
+}
+
+func (wk *Worker) name() string {
+	if wk.Name != "" {
+		return wk.Name
+	}
+	host, _ := os.Hostname()
+	if host == "" {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
+// Run pulls and executes jobs until ctx ends. Transient daemon errors
+// (restarting, unreachable) back off and retry — an attached worker
+// outliving a daemon restart simply reattaches. The returned error is
+// always ctx's, once the loop stops.
+func (wk *Worker) Run(ctx context.Context) error {
+	slots := wk.Parallel
+	if slots <= 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
+	wait := wk.LeaseWait
+	if wait <= 0 {
+		wait = 25 * time.Second
+	}
+	name := wk.name()
+	done := make(chan struct{}, slots)
+	for s := 0; s < slots; s++ {
+		go func(slot int) {
+			defer func() { done <- struct{}{} }()
+			slotName := fmt.Sprintf("%s/%d", name, slot)
+			for ctx.Err() == nil {
+				if err := wk.pullOne(ctx, slotName, wait); err != nil && ctx.Err() == nil {
+					if wk.Log != nil {
+						fmt.Fprintf(wk.Log, "worker %s: %v (retrying)\n", slotName, err)
+					}
+					sleepCtx(ctx, time.Second)
+				}
+			}
+		}(s)
+	}
+	for s := 0; s < slots; s++ {
+		<-done
+	}
+	return ctx.Err()
+}
+
+// sleepCtx sleeps for d unless ctx ends first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// pullOne performs one lease round: poll, simulate, report. A lease
+// round with no work available is a nil round.
+func (wk *Worker) pullOne(ctx context.Context, slotName string, wait time.Duration) error {
+	grant, ok, err := wk.lease(ctx, slotName, wait)
+	if err != nil || !ok {
+		return err
+	}
+	job, err := grant.Job.decode()
+	if err != nil {
+		// Undecodable job: report the failure so the daemon's Dispatch
+		// resolves instead of waiting out the TTL.
+		wk.report(ctx, grant.Lease, nil, fmt.Errorf("worker: bad job: %w", err))
+		return err
+	}
+	if wk.Log != nil {
+		fmt.Fprintf(wk.Log, "worker %s: leased %s (%s)\n", slotName, job.ID, job.Coord())
+	}
+
+	// Renew the lease at a third of its TTL while the simulation runs.
+	// A renewal hitting 410 Gone means the daemon gave up on us (or
+	// restarted); cancel the attempt — its result would be discarded
+	// anyway.
+	runCtx, cancel := context.WithCancel(ctx)
+	renewDone := make(chan struct{})
+	go func() {
+		defer close(renewDone)
+		interval := time.Duration(grant.TTLMs) * time.Millisecond / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+		for {
+			select {
+			case <-runCtx.Done():
+				return
+			case <-time.After(interval):
+			}
+			if err := wk.renew(ctx, grant.Lease); err != nil {
+				cancel()
+				return
+			}
+		}
+	}()
+
+	st, simErr := runLeased(runCtx, job)
+	cancel()
+	<-renewDone
+
+	if ctx.Err() != nil {
+		// Worker shutting down mid-job: report nothing; the lease
+		// expires and the daemon re-runs the job locally.
+		return nil
+	}
+	if wk.Log != nil {
+		outcome := "ok"
+		if simErr != nil {
+			outcome = simErr.Error()
+		}
+		fmt.Fprintf(wk.Log, "worker %s: finished %s: %s\n", slotName, job.ID, outcome)
+	}
+	return wk.report(ctx, grant.Lease, &st, simErr)
+}
+
+// runLeased simulates one leased job with the same panic isolation the
+// engine's local attempts get: a panicking scheme fails the attempt,
+// not the worker process.
+func runLeased(ctx context.Context, job runner.Job) (st stats.Sim, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("worker panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return runner.SimulateJob(ctx, job)
+}
+
+// decode reconstructs the runner.Job from its wire form.
+func (j leaseJob) decode() (runner.Job, error) {
+	var cfg sim.Config
+	if err := json.Unmarshal(j.Config, &cfg); err != nil {
+		return runner.Job{}, err
+	}
+	job := runner.Job{ID: j.ID, Matrix: j.Matrix, Label: j.Label,
+		Workload: j.Workload, Scheme: j.Scheme, Seed: j.Seed, Config: cfg}
+	if want := runner.JobKey(cfg); job.ID != want {
+		return runner.Job{}, fmt.Errorf("job %s config hashes to %s", job.ID, want)
+	}
+	return job, nil
+}
+
+// lease long-polls for one grant. ok=false means the window closed
+// with no work.
+func (wk *Worker) lease(ctx context.Context, name string, wait time.Duration) (LeaseGrant, bool, error) {
+	var grant LeaseGrant
+	err := wk.Client.do(ctx, http.MethodPost, "/v1/workers/lease",
+		LeaseRequest{Worker: name, WaitMs: wait.Milliseconds()}, &grant)
+	if err != nil {
+		return LeaseGrant{}, false, err
+	}
+	if grant.Lease == "" { // 204: nothing offered
+		return LeaseGrant{}, false, nil
+	}
+	return grant, true, nil
+}
+
+func (wk *Worker) renew(ctx context.Context, lease string) error {
+	return wk.Client.do(ctx, http.MethodPost, "/v1/workers/renew", LeaseUpdate{Lease: lease}, nil)
+}
+
+// report delivers the attempt outcome. A 410 Gone — the lease expired
+// and the daemon re-ran the job — is not an error: the outcome is
+// simply discarded, preserving the one-attempt-outcome-per-dispatch
+// rule.
+func (wk *Worker) report(ctx context.Context, lease string, st *stats.Sim, simErr error) error {
+	upd := LeaseUpdate{Lease: lease}
+	if simErr != nil {
+		upd.Error = simErr.Error()
+	} else {
+		upd.Result = st
+	}
+	err := wk.Client.do(ctx, http.MethodPost, "/v1/workers/result", upd, nil)
+	var ae *APIError
+	if errors.As(err, &ae) && ae.Status == http.StatusGone {
+		return nil
+	}
+	return err
+}
