@@ -246,6 +246,10 @@ var (
 	// ErrTraceCorrupt: a .btrc recording failed a structural or
 	// checksum validation.
 	ErrTraceCorrupt = errs.ErrTraceCorrupt
+	// ErrDiskFull: a durable write (checkpoint sink, sweep marker) hit
+	// an out-of-space condition. The state on disk is an intact prefix,
+	// not corruption — free space and re-run/resubmit to resume.
+	ErrDiskFull = errs.ErrDiskFull
 )
 
 // ConfigError reports an invalid configuration field; retrieve it with
@@ -551,9 +555,27 @@ const (
 	SweepCancelled = sweepd.StateCancelled
 )
 
+// SweepClientOptions tunes a SweepClient's transport: per-phase
+// network timeouts, a per-call deadline, and the retry policy every
+// unary call rides (idempotent by construction, so retried submissions
+// and reports are safe). The zero value means defaults.
+type SweepClientOptions = sweepd.ClientOptions
+
 // Dial returns a client for the sweepd daemon at addr ("host:port" or
-// a full http:// URL). No connection is made until the first call.
+// a full http:// URL) with default timeouts and retry policy. No
+// connection is made until the first call.
 func Dial(addr string) (*SweepClient, error) { return sweepd.Dial(addr) }
+
+// DialWith is Dial with explicit transport options.
+func DialWith(addr string, o SweepClientOptions) (*SweepClient, error) {
+	return sweepd.DialWith(addr, o)
+}
+
+// IsOverloaded reports whether err is a daemon load-shed response
+// (HTTP 429): the daemon is healthy but at its submission-queue or
+// stream cap. The client's retry policy already honors the attached
+// Retry-After; a true return after retries means sustained overload.
+func IsOverloaded(err error) bool { return sweepd.IsOverloaded(err) }
 
 // SweepSpecFromMatrix renders a locally declared Matrix into its wire
 // form by enumerating its jobs — the bridge from closure-bearing

@@ -10,16 +10,18 @@
 //	sweepctl -addr :8080 epochs  <sweep-id> [-offset N]
 //	sweepctl -addr :8080 ledger  <sweep-id>
 //	sweepctl -addr :8080 cancel  <sweep-id>
-//	sweepctl -addr :8080 wait    <sweep-id>
+//	sweepctl -addr :8080 wait    <sweep-id> [-timeout D]
 //
 // `submit` prints the sweep's content-derived ID and status; streams
 // write raw JSONL to stdout and follow the sweep live until it reaches
 // a terminal state, so `sweepctl stream` after a reconnect picks up
 // with -offset set to the byte count already captured.
 //
-// Exit codes follow the bansheesim convention: 0 clean, 1 error, 130
-// interrupted (a ^C during stream/wait; the sweep itself continues
-// server-side — resume with `sweepctl stream -offset N` or `wait`).
+// Exit codes follow the bansheesim convention: 0 clean, 1 error, 124
+// deadline (`wait -timeout D` expired before the sweep turned
+// terminal), 130 interrupted (a ^C during stream/wait). In both
+// non-zero waiting cases the sweep itself continues server-side —
+// resume with `sweepctl stream -offset N` or `wait`.
 package main
 
 import (
@@ -52,7 +54,7 @@ commands:
   epochs  SWEEP-ID [-offset N]   follow the epoch-series JSONL to stdout
   ledger  SWEEP-ID          print the failure ledger JSONL
   cancel  SWEEP-ID          stop a live sweep
-  wait    SWEEP-ID          block until the sweep is terminal; prints final status`)
+  wait    SWEEP-ID [-timeout D]  block until the sweep is terminal; prints final status (exit 124 on timeout)`)
 	return 1
 }
 
@@ -80,6 +82,9 @@ func run() int {
 	switch {
 	case err == nil:
 		return 0
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintln(os.Stderr, "sweepctl: timed out; the sweep continues server-side (resume with `sweepctl wait`)")
+		return 124
 	case errors.Is(err, context.Canceled):
 		fmt.Fprintln(os.Stderr, "sweepctl: interrupted; the sweep continues server-side (resume with `sweepctl stream -offset N` or `sweepctl wait`)")
 		return 130
@@ -155,9 +160,16 @@ func dispatch(ctx context.Context, c *sweepd.Client, cmd string, args []string) 
 		}
 		return printJSON(st)
 	case "wait":
-		id, err := oneID(args)
+		sub := flag.NewFlagSet("sweepctl wait", flag.ExitOnError)
+		timeout := sub.Duration("timeout", 0, "give up after this long (exit 124); 0 waits forever")
+		id, err := oneID(parseSub(sub, args))
 		if err != nil {
 			return err
+		}
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
 		}
 		st, err := c.Wait(ctx, id, 500*time.Millisecond)
 		if err != nil {

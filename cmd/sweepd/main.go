@@ -48,7 +48,7 @@ func main() {
 
 func usage() int {
 	fmt.Fprintln(os.Stderr, `usage:
-  sweepd serve  -listen :8080 -state DIR [-parallel N] [-max-active N] [-lease-ttl D] [-quiet]
+  sweepd serve  -listen :8080 -state DIR [-parallel N] [-max-active N] [-max-queued N] [-max-streams N] [-lease-ttl D] [-quiet]
   sweepd worker -join ADDR [-parallel N] [-name NAME] [-quiet]`)
 	return 1
 }
@@ -74,13 +74,15 @@ func run() int {
 func serve(args []string) int {
 	fs := flag.NewFlagSet("sweepd serve", flag.ExitOnError)
 	var (
-		listen    = fs.String("listen", ":8080", "HTTP listen address for the API and /metrics")
-		state     = fs.String("state", "", "durable state directory (required); sweeps resume from it across restarts")
-		parallel  = fs.Int("parallel", 0, "worker-pool size per sweep (0 = GOMAXPROCS)")
-		maxActive = fs.Int("max-active", 2, "sweeps running concurrently; further submissions queue")
-		leaseTTL  = fs.Duration("lease-ttl", 10*time.Second, "worker lease lifetime between renewals")
-		drain     = fs.Duration("drain", 5*time.Second, "HTTP shutdown drain deadline on SIGINT/SIGTERM")
-		quiet     = fs.Bool("quiet", false, "suppress per-job progress lines")
+		listen     = fs.String("listen", ":8080", "HTTP listen address for the API and /metrics")
+		state      = fs.String("state", "", "durable state directory (required); sweeps resume from it across restarts")
+		parallel   = fs.Int("parallel", 0, "worker-pool size per sweep (0 = GOMAXPROCS)")
+		maxActive  = fs.Int("max-active", 2, "sweeps running concurrently; further submissions queue")
+		maxQueued  = fs.Int("max-queued", 16, "sweeps queued beyond max-active before submissions are shed with 429 (-1 = unbounded)")
+		maxStreams = fs.Int("max-streams", 16, "concurrent result streams per client host before streams are shed with 429 (-1 = unbounded)")
+		leaseTTL   = fs.Duration("lease-ttl", 10*time.Second, "worker lease lifetime between renewals")
+		drain      = fs.Duration("drain", 5*time.Second, "HTTP shutdown drain deadline on SIGINT/SIGTERM")
+		quiet      = fs.Bool("quiet", false, "suppress per-job progress lines")
 	)
 	fs.Parse(args)
 	if *state == "" {
@@ -90,10 +92,12 @@ func serve(args []string) int {
 
 	log := os.Stderr
 	opts := sweepd.Options{
-		StateDir:    *state,
-		Parallelism: *parallel,
-		MaxActive:   *maxActive,
-		LeaseTTL:    *leaseTTL,
+		StateDir:         *state,
+		Parallelism:      *parallel,
+		MaxActive:        *maxActive,
+		MaxQueued:        *maxQueued,
+		MaxClientStreams: *maxStreams,
+		LeaseTTL:         *leaseTTL,
 	}
 	if !*quiet {
 		opts.Log = log

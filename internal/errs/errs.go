@@ -13,6 +13,7 @@ package errs
 import (
 	"errors"
 	"fmt"
+	"syscall"
 )
 
 var (
@@ -35,7 +36,49 @@ var (
 	// .btrc decoder returns — bad magic, checksum mismatch, inconsistent
 	// index — as opposed to plain I/O failures.
 	ErrTraceCorrupt = errors.New("corrupt trace file")
+
+	// ErrDiskFull matches any durable-store write that failed because
+	// the disk (or quota) is exhausted. The condition is environmental
+	// and transient — an operator frees space and the work resumes —
+	// so layers that hit it must pause cleanly (checkpoint prefix
+	// intact, no terminal marker) rather than corrupt or abandon
+	// state. Match with errors.Is.
+	ErrDiskFull = errors.New("disk full")
 )
+
+// DiskFullError wraps an out-of-space failure with the operation that
+// hit it. errors.Is(err, ErrDiskFull) matches it; Unwrap exposes the
+// underlying syscall error for platform-level inspection.
+type DiskFullError struct {
+	// Op describes the write that failed ("sink append",
+	// "commit done.json", ...).
+	Op string
+	// Err is the underlying failure (wrapping ENOSPC or EDQUOT).
+	Err error
+}
+
+func (e *DiskFullError) Error() string {
+	return fmt.Sprintf("%s: %s: %v", ErrDiskFull, e.Op, e.Err)
+}
+
+// Unwrap exposes the underlying cause.
+func (e *DiskFullError) Unwrap() error { return e.Err }
+
+// Is matches ErrDiskFull.
+func (e *DiskFullError) Is(target error) bool { return target == ErrDiskFull }
+
+// WrapDiskFull classifies a write error: out-of-space failures
+// (ENOSPC) come back as a *DiskFullError carrying op; anything else —
+// including nil — is returned unchanged.
+func WrapDiskFull(op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, syscall.ENOSPC) {
+		return &DiskFullError{Op: op, Err: err}
+	}
+	return err
+}
 
 // JobError reports one batch job's permanent failure after supervision
 // gave up on it: which job (sweep coordinate and content ID), how many

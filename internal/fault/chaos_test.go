@@ -7,9 +7,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"syscall"
 	"testing"
 	"time"
 
+	"banshee/internal/errs"
 	"banshee/internal/fault"
 	"banshee/internal/runner"
 	"banshee/internal/sim"
@@ -271,5 +273,77 @@ func TestChaosSinkTornWrite(t *testing.T) {
 	resumed, _ := os.ReadFile(tornPath)
 	if !bytes.Equal(resumed, golden) {
 		t.Fatal("resume over torn checkpoint did not converge to golden")
+	}
+}
+
+// enospcWriter emulates a filling disk: after budget bytes it answers
+// every write with ENOSPC (the last write lands short, like a real
+// device running out mid-line).
+type enospcWriter struct {
+	w      io.Writer
+	budget int
+}
+
+func (e *enospcWriter) Write(p []byte) (int, error) {
+	if e.budget <= 0 {
+		return 0, syscall.ENOSPC
+	}
+	if len(p) > e.budget {
+		n, _ := e.w.Write(p[:e.budget])
+		e.budget = 0
+		return n, syscall.ENOSPC
+	}
+	e.budget -= len(p)
+	return e.w.Write(p)
+}
+
+// TestChaosSinkDiskFullPausesCleanly: a checkpoint stream hitting
+// ENOSPC aborts the sweep with a typed errs.ErrDiskFull — pause, not
+// corruption — and once "space is freed" a resume repairs the torn
+// tail and converges the file byte-identically to the golden run.
+func TestChaosSinkDiskFullPausesCleanly(t *testing.T) {
+	m := chaosMatrix("enospc")
+	dir := t.TempDir()
+
+	goldenPath := filepath.Join(dir, "golden.jsonl")
+	gsink, err := runner.OpenSink(goldenPath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (runner.Engine{Parallelism: 4, Sink: gsink}).Run(context.Background(), m); err != nil {
+		t.Fatal(err)
+	}
+	gsink.Close()
+	golden, _ := os.ReadFile(goldenPath)
+
+	fullPath := filepath.Join(dir, "full.jsonl")
+	sink, err := runner.OpenSink(fullPath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.WrapWriter(func(w io.Writer) io.Writer { return &enospcWriter{w: w, budget: 600} })
+	_, err = (runner.Engine{Parallelism: 1, Sink: sink}).Run(context.Background(), m)
+	if !errors.Is(err, errs.ErrDiskFull) {
+		t.Fatalf("disk-full sweep error = %v, want errs.ErrDiskFull", err)
+	}
+	var dfe *errs.DiskFullError
+	if !errors.As(err, &dfe) || !errors.Is(dfe.Err, syscall.ENOSPC) {
+		t.Fatalf("disk-full error lost its cause: %v", err)
+	}
+	sink.Close() // flush will fail again; the file is what matters
+
+	// The disk "has space again": resume repairs the torn tail and
+	// completes the checkpoint to the golden bytes.
+	rsink, err := runner.OpenSink(fullPath, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (runner.Engine{Parallelism: 4, Sink: rsink}).Run(context.Background(), m); err != nil {
+		t.Fatal(err)
+	}
+	rsink.Close()
+	resumed, _ := os.ReadFile(fullPath)
+	if !bytes.Equal(resumed, golden) {
+		t.Fatal("resume after disk-full did not converge to golden")
 	}
 }

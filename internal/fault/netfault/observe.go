@@ -1,0 +1,52 @@
+package netfault
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"banshee/internal/obs"
+)
+
+// injected counts network faults that actually fired, by mode, across
+// every Transport and Proxy in the process — mirrors fault.injected:
+// a chaos run is one experiment, so the audit trail is process-wide.
+var injected [nModes]atomic.Uint64
+
+// record tallies one fired network fault of mode m.
+func record(m Mode) {
+	if m > None && m < nModes {
+		injected[m].Add(1)
+	}
+}
+
+// InjectedCount returns how many network faults of mode m have fired
+// in this process.
+func InjectedCount(m Mode) uint64 {
+	if m <= None || m >= nModes {
+		return 0
+	}
+	return injected[m].Load()
+}
+
+// InjectedTotal returns how many network faults of any mode have
+// fired in this process.
+func InjectedTotal() uint64 {
+	var n uint64
+	for m := None + 1; m < nModes; m++ {
+		n += injected[m].Load()
+	}
+	return n
+}
+
+// Instrument exposes the injection tallies on r as
+// banshee_net_faults_injected_total{mode=...}. Idempotent, like all
+// registry registration.
+func Instrument(r *obs.Registry) {
+	for m := None + 1; m < nModes; m++ {
+		m := m
+		r.CounterFunc(
+			fmt.Sprintf("banshee_net_faults_injected_total{mode=%q}", m.String()),
+			"injected network faults fired, by mode",
+			func() float64 { return float64(injected[m].Load()) })
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"banshee/internal/errs"
 )
 
 // castagnoli is the CRC-32C table — the same polynomial the .btrc
@@ -34,6 +36,7 @@ type Sink struct {
 	f       *os.File
 	out     io.Writer
 	w       *bufio.Writer
+	sync    bool
 	loaded  []Record
 	dropped int
 }
@@ -176,6 +179,13 @@ func (s *Sink) Loaded() []Record { return s.loaded }
 // is repaired silently and not counted).
 func (s *Sink) Dropped() int { return s.dropped }
 
+// SetSync controls whether every flush boundary also fsyncs the file.
+// Local batch runs leave it off (the OS page cache is durable enough
+// for a reproducible re-run); the sweep daemon turns it on so a
+// machine crash — not just a process crash — loses at most the one
+// in-flight record of each checkpoint stream.
+func (s *Sink) SetSync(on bool) { s.sync = on }
+
 // WrapWriter interposes wrap's result between the sink's line buffer
 // and the file — the fault-injection seam: chaos tests wrap it to
 // inject short writes and write errors into the checkpoint stream.
@@ -221,16 +231,30 @@ func (s *Sink) Append(r Record) error {
 	line = append(line, fmt.Sprintf(`,"crc":"%08x"}`, crc)...)
 	line = append(line, '\n')
 	if _, err := s.w.Write(line); err != nil {
-		return fmt.Errorf("runner: sink write: %w", err)
+		return errs.WrapDiskFull("sink append", fmt.Errorf("runner: sink write: %w", err))
 	}
-	return s.w.Flush()
+	if err := s.w.Flush(); err != nil {
+		return errs.WrapDiskFull("sink append", fmt.Errorf("runner: sink flush: %w", err))
+	}
+	if s.sync {
+		if err := s.f.Sync(); err != nil {
+			return errs.WrapDiskFull("sink fsync", fmt.Errorf("runner: sink fsync: %w", err))
+		}
+	}
+	return nil
 }
 
 // Close flushes and closes the file.
 func (s *Sink) Close() error {
 	if err := s.w.Flush(); err != nil {
 		s.f.Close()
-		return err
+		return errs.WrapDiskFull("sink close", fmt.Errorf("runner: sink flush: %w", err))
+	}
+	if s.sync {
+		if err := s.f.Sync(); err != nil {
+			s.f.Close()
+			return errs.WrapDiskFull("sink fsync", fmt.Errorf("runner: sink fsync: %w", err))
+		}
 	}
 	return s.f.Close()
 }

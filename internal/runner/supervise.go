@@ -59,19 +59,20 @@ type RetryPolicy struct {
 	MaxDelay time.Duration
 }
 
-func (p RetryPolicy) attempts() int {
+// Attempts returns the effective total attempt count (at least 1).
+func (p RetryPolicy) Attempts() int {
 	if p.MaxAttempts < 1 {
 		return 1
 	}
 	return p.MaxAttempts
 }
 
-// delay returns the backoff before retry `attempt` (1-based: the delay
+// Delay returns the backoff before retry `attempt` (1-based: the delay
 // after the attempt-th failure). Jitter multiplies the exponential
 // delay by a factor in [0.5, 1.0) hashed from (jobID, attempt), so
 // concurrent failing jobs de-synchronize without perturbing any RNG
 // the simulations use — determinism of results is untouched.
-func (p RetryPolicy) delay(jobID string, attempt int) time.Duration {
+func (p RetryPolicy) Delay(jobID string, attempt int) time.Duration {
 	if p.BaseDelay <= 0 {
 		return 0
 	}
@@ -138,7 +139,7 @@ func (e Engine) runSupervised(ctx context.Context, job Job, w int, em *engineMet
 			return st, err
 		}
 	}
-	max := e.Retry.attempts()
+	max := e.Retry.Attempts()
 	var lastErr error
 	attempts := 0
 	for attempt := 1; attempt <= max; attempt++ {
@@ -178,7 +179,7 @@ func (e Engine) runSupervised(ctx context.Context, job Job, w int, em *engineMet
 			return stats.Sim{}, ctx.Err()
 		}
 		if attempt < max {
-			if !sleepCtx(ctx, e.Retry.delay(job.ID, attempt)) {
+			if !sleepCtx(ctx, e.Retry.Delay(job.ID, attempt)) {
 				return stats.Sim{}, ctx.Err()
 			}
 		}

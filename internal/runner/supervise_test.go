@@ -295,8 +295,8 @@ func TestKeepGoingSharesFailureAcrossIdenticalConfigs(t *testing.T) {
 func TestRetryBackoffDeterministicJitter(t *testing.T) {
 	p := RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond}
 	for attempt := 1; attempt <= 4; attempt++ {
-		a := p.delay("job-a", attempt)
-		if b := p.delay("job-a", attempt); a != b {
+		a := p.Delay("job-a", attempt)
+		if b := p.Delay("job-a", attempt); a != b {
 			t.Fatalf("attempt %d: jitter not deterministic: %v vs %v", attempt, a, b)
 		}
 		lo := p.BaseDelay << (attempt - 1) / 2
@@ -308,10 +308,10 @@ func TestRetryBackoffDeterministicJitter(t *testing.T) {
 			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, a, lo, hi)
 		}
 	}
-	if p.delay("job-a", 2) == p.delay("job-b", 2) {
+	if p.Delay("job-a", 2) == p.Delay("job-b", 2) {
 		t.Fatal("different jobs drew identical jitter (suspicious hash)")
 	}
-	if (RetryPolicy{}).delay("x", 1) != 0 {
+	if (RetryPolicy{}).Delay("x", 1) != 0 {
 		t.Fatal("zero policy should not delay")
 	}
 }

@@ -31,6 +31,7 @@ type Broker struct {
 	offers  []*offer
 	notify  chan struct{} // closed and replaced when an offer arrives
 	leases  map[string]*lease
+	tombs   map[string]tombstone // dead leases, for idempotent redelivery
 	workers map[string]time.Time // worker name → last poll
 	seq     uint64
 
@@ -67,6 +68,19 @@ type attemptOutcome struct {
 	err error
 }
 
+// tombstone remembers how a dead lease died, keyed by lease ID and
+// carrying the job's content key. A resolved tombstone lets a
+// redelivered report — the wire duplicated it, or the worker retried
+// after a lost ACK — be answered as already-accepted instead of
+// recorded twice; an expired tombstone refuses late results because
+// the local re-run owns the attempt. Exactly one outcome per Dispatch
+// either way.
+type tombstone struct {
+	jobID    string
+	resolved bool // true: outcome accepted; false: expired/abandoned
+	at       time.Time
+}
+
 // NewBroker builds a broker with the given lease TTL (0 = 10s) and
 // registers its service metrics on r (nil = unregistered).
 func NewBroker(ttl time.Duration, r *obs.Registry) *Broker {
@@ -79,6 +93,7 @@ func NewBroker(ttl time.Duration, r *obs.Registry) *Broker {
 		workerWindow: 90 * time.Second,
 		notify:       make(chan struct{}),
 		leases:       map[string]*lease{},
+		tombs:        map[string]tombstone{},
 		workers:      map[string]time.Time{},
 	}
 	if r != nil {
@@ -167,7 +182,7 @@ func (b *Broker) Dispatch(ctx context.Context, job runner.Job) (stats.Sim, bool,
 				b.mu.Unlock()
 				continue // renewed while the timer was in flight
 			}
-			b.dropLeaseLocked(l.id)
+			b.buryLocked(l, false)
 			b.mu.Unlock()
 			if b.expiries != nil {
 				b.expiries.Inc()
@@ -182,7 +197,7 @@ func (b *Broker) Dispatch(ctx context.Context, job runner.Job) (stats.Sim, bool,
 		case <-ctx.Done():
 			expire.Stop()
 			b.mu.Lock()
-			b.dropLeaseLocked(l.id)
+			b.buryLocked(l, false)
 			b.mu.Unlock()
 			return stats.Sim{}, false, nil
 		}
@@ -210,11 +225,32 @@ func (b *Broker) withdraw(off *offer) *lease {
 	return nil
 }
 
-func (b *Broker) dropLeaseLocked(id string) {
-	if _, ok := b.leases[id]; ok {
-		delete(b.leases, id)
+// buryLocked removes a lease and tombstones it, recording whether its
+// outcome was accepted (resolved) or discarded (expired/abandoned).
+func (b *Broker) buryLocked(l *lease, resolved bool) {
+	if _, ok := b.leases[l.id]; ok {
+		delete(b.leases, l.id)
 		if b.leasesOut != nil {
 			b.leasesOut.Set(float64(len(b.leases)))
+		}
+	}
+	b.tombs[l.id] = tombstone{jobID: l.job.ID, resolved: resolved, at: time.Now()}
+	b.pruneTombsLocked()
+}
+
+// maxTombs bounds the tombstone map; beyond it, entries older than
+// ten TTLs are swept (a worker retrying a report ten TTLs late has
+// long since given up).
+const maxTombs = 4096
+
+func (b *Broker) pruneTombsLocked() {
+	if len(b.tombs) <= maxTombs {
+		return
+	}
+	cutoff := time.Now().Add(-10 * b.ttl)
+	for id, t := range b.tombs {
+		if t.at.Before(cutoff) {
+			delete(b.tombs, id)
 		}
 	}
 }
@@ -288,17 +324,33 @@ func (b *Broker) Renew(id string) error {
 	return nil
 }
 
-// Resolve delivers lease id's attempt outcome. ErrLeaseGone means the
-// broker already gave up on this lease; the result is discarded and
-// must not be recorded anywhere — the local re-run owns the attempt.
-func (b *Broker) Resolve(id string, st stats.Sim, attemptErr error) error {
+// Resolve delivers lease id's attempt outcome for job jobID
+// (jobID "" skips the key check, for legacy callers). Exactly-once
+// under redelivery: the first accepted outcome tombstones the lease,
+// and a redelivered report for the same (lease, job key) — the wire
+// duplicated it, or the worker retried after a lost ACK — returns nil
+// without recording anything, so the worker sees the same success it
+// missed. ErrLeaseGone means the broker already gave up on this lease
+// (or the job key doesn't match it); the result is discarded and must
+// not be recorded anywhere — the local re-run owns the attempt.
+func (b *Broker) Resolve(id, jobID string, st stats.Sim, attemptErr error) error {
 	b.mu.Lock()
 	l, ok := b.leases[id]
-	if ok {
-		b.dropLeaseLocked(id)
+	if ok && jobID != "" && l.job.ID != jobID {
+		// A report for a job this lease never held: refuse it rather
+		// than record a result under the wrong key.
+		b.mu.Unlock()
+		return ErrLeaseGone
 	}
+	if ok {
+		b.buryLocked(l, true)
+	}
+	tomb, dead := b.tombs[id]
 	b.mu.Unlock()
 	if !ok {
+		if dead && tomb.resolved && (jobID == "" || jobID == tomb.jobID) {
+			return nil // duplicate delivery of an accepted outcome
+		}
 		return ErrLeaseGone
 	}
 	l.result <- attemptOutcome{st: st, err: attemptErr}

@@ -7,24 +7,82 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"banshee/internal/runner"
 )
 
-// Client talks to a sweepd daemon over HTTP/JSON. The zero HTTP
-// client has no global timeout — result streams are long-lived — so
-// per-call deadlines come from the caller's contexts.
+// Client talks to a sweepd daemon over HTTP/JSON. Every unary call
+// carries a per-call deadline and rides a bounded retry policy with
+// deterministic jitter; mutating calls are idempotent on the daemon
+// side (Submit is content-keyed, lease reports are deduped by
+// (lease, job key)), so a retry after a lost ACK is always safe.
+// Result streams are long-lived and resume by byte offset instead.
 type Client struct {
-	base string
-	hc   *http.Client
+	base        string
+	hc          *http.Client
+	retry       runner.RetryPolicy
+	callTimeout time.Duration
+}
+
+// ClientOptions tunes the transport a Client is built with. The zero
+// value means the hardened defaults — there is deliberately no way
+// back to the unbounded zero-valued http.Client.
+type ClientOptions struct {
+	// DialTimeout bounds TCP connection establishment (default 5s).
+	DialTimeout time.Duration
+	// TLSHandshakeTimeout bounds the TLS handshake (default 5s).
+	TLSHandshakeTimeout time.Duration
+	// ResponseHeaderTimeout bounds the wait for response headers. It
+	// must exceed the worker lease long-poll window (the daemon holds
+	// the request headerless while waiting for work), so the default
+	// is 40s against the server-side 30s cap.
+	ResponseHeaderTimeout time.Duration
+	// CallTimeout is the per-attempt deadline on unary calls (default
+	// 15s). Streams are exempt: they are bounded by the caller's ctx
+	// and resume by offset.
+	CallTimeout time.Duration
+	// Retry bounds per-call retries; backoff is exponential with
+	// deterministic jitter (runner.RetryPolicy semantics). The zero
+	// value means 4 attempts, 50ms base, 2s cap.
+	Retry runner.RetryPolicy
+	// Transport, when non-nil, replaces the default transport —
+	// the seam chaos tests use to inject network faults.
+	Transport http.RoundTripper
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.TLSHandshakeTimeout <= 0 {
+		o.TLSHandshakeTimeout = 5 * time.Second
+	}
+	if o.ResponseHeaderTimeout <= 0 {
+		o.ResponseHeaderTimeout = maxLeaseWait + 10*time.Second
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 15 * time.Second
+	}
+	if o.Retry.MaxAttempts <= 0 {
+		o.Retry = runner.RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+	}
+	return o
 }
 
 // Dial returns a client for the daemon at addr ("host:port" or a full
-// http:// URL). No connection is made until the first call.
+// http:// URL) with the default timeouts and retry policy. No
+// connection is made until the first call.
 func Dial(addr string) (*Client, error) {
+	return DialWith(addr, ClientOptions{})
+}
+
+// DialWith is Dial with explicit transport and retry tuning.
+func DialWith(addr string, o ClientOptions) (*Client, error) {
 	if addr == "" {
 		return nil, fmt.Errorf("sweepd: empty daemon address")
 	}
@@ -32,29 +90,83 @@ func Dial(addr string) (*Client, error) {
 		addr = "http://" + addr
 	}
 	addr = strings.TrimRight(addr, "/")
-	return &Client{base: addr, hc: &http.Client{}}, nil
+	o = o.withDefaults()
+	rt := o.Transport
+	if rt == nil {
+		rt = &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: o.DialTimeout}).DialContext,
+			TLSHandshakeTimeout:   o.TLSHandshakeTimeout,
+			ResponseHeaderTimeout: o.ResponseHeaderTimeout,
+			MaxIdleConnsPerHost:   8,
+		}
+	}
+	return &Client{
+		base:        addr,
+		hc:          &http.Client{Transport: rt},
+		retry:       o.Retry,
+		callTimeout: o.CallTimeout,
+	}, nil
 }
 
 // Base returns the daemon URL this client targets.
 func (c *Client) Base() string { return c.base }
 
-// do issues one JSON round trip. out may be nil. Non-2xx responses are
-// surfaced as *APIError carrying the HTTP status and the daemon's
-// error message.
-func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
-	var body io.Reader
+// do issues one unary JSON call under the retry policy and the
+// default per-attempt deadline.
+func (c *Client) do(ctx context.Context, call, method, path string, in, out interface{}) error {
+	return c.doCall(ctx, call, c.callTimeout, method, path, in, out)
+}
+
+// doCall issues a unary JSON call: per-attempt deadline, bounded
+// retries with deterministic jitter, Retry-After honored on 429/503.
+// out may be nil. Non-2xx responses surface as *APIError. The call
+// name keys both the retry telemetry and the backoff jitter.
+func (c *Client) doCall(ctx context.Context, call string, timeout time.Duration, method, path string, in, out interface{}) error {
+	var payload []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("sweepd: encode request: %w", err)
 		}
-		body = bytes.NewReader(b)
+		payload = b
+	}
+	attempts := c.retry.Attempts()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		lastErr = c.doOnce(ctx, timeout, method, path, payload, out)
+		if lastErr == nil {
+			return nil
+		}
+		if ctx.Err() != nil || attempt >= attempts || !retryable(lastErr) {
+			return lastErr
+		}
+		recordRetry(call)
+		d := c.retry.Delay(call+"|"+path, attempt)
+		if ra := retryAfter(lastErr); ra > d {
+			d = ra
+		}
+		if !sleepCtxDone(ctx, d) {
+			return lastErr
+		}
+	}
+}
+
+// doOnce is one attempt of a unary call.
+func (c *Client) doOnce(ctx context.Context, timeout time.Duration, method, path string, payload []byte, out interface{}) error {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
@@ -74,14 +186,63 @@ func (c *Client) do(ctx context.Context, method, path string, in, out interface{
 	return nil
 }
 
+// retryable classifies an error as transient. Transport failures,
+// torn responses, 5xx, and 429 retry; other 4xx are the daemon
+// meaning it, and context errors are the caller meaning it.
+func retryable(err error) bool {
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Status >= 500 || ae.Status == http.StatusTooManyRequests
+	}
+	return true
+}
+
+// retryAfter extracts a daemon-directed backoff (429/503 Retry-After)
+// from err, or 0.
+func retryAfter(err error) time.Duration {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.RetryAfter
+	}
+	return 0
+}
+
+// sleepCtxDone sleeps d, returning false if ctx ended first.
+func sleepCtxDone(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 // APIError is a non-2xx daemon response.
 type APIError struct {
 	Status  int
 	Message string
+	// RetryAfter is the daemon's requested backoff (429/503 responses
+	// under load shed), zero when absent.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("sweepd: daemon returned %d: %s", e.Status, e.Message)
+}
+
+// IsOverloaded reports whether err is the daemon shedding load (429):
+// back off and retry later.
+func IsOverloaded(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusTooManyRequests
 }
 
 func decodeAPIError(resp *http.Response) error {
@@ -90,7 +251,13 @@ func decodeAPIError(resp *http.Response) error {
 	if json.Unmarshal(b, &ae) != nil || ae.Error == "" {
 		ae.Error = strings.TrimSpace(string(b))
 	}
-	return &APIError{Status: resp.StatusCode, Message: ae.Error}
+	out := &APIError{Status: resp.StatusCode, Message: ae.Error}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			out.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return out
 }
 
 // IsNotFound reports whether err is the daemon saying "no such sweep".
@@ -103,7 +270,7 @@ func IsNotFound(err error) bool {
 // same spec always resolves to the same sweep.
 func (c *Client) Submit(ctx context.Context, spec Spec) (Status, error) {
 	var st Status
-	err := c.do(ctx, http.MethodPost, "/v1/sweeps", spec, &st)
+	err := c.do(ctx, callSubmit, http.MethodPost, "/v1/sweeps", spec, &st)
 	return st, err
 }
 
@@ -121,40 +288,55 @@ func (c *Client) SubmitMatrix(ctx context.Context, m runner.Matrix, o RunOptions
 // Status fetches one sweep's status.
 func (c *Client) Status(ctx context.Context, id string) (Status, error) {
 	var st Status
-	err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+id+"/status", nil, &st)
+	err := c.do(ctx, callStatus, http.MethodGet, "/v1/sweeps/"+id+"/status", nil, &st)
 	return st, err
 }
 
 // List fetches every sweep the daemon knows.
 func (c *Client) List(ctx context.Context) ([]Status, error) {
 	var sts []Status
-	err := c.do(ctx, http.MethodGet, "/v1/sweeps", nil, &sts)
+	err := c.do(ctx, callList, http.MethodGet, "/v1/sweeps", nil, &sts)
 	return sts, err
 }
 
 // Cancel stops a live sweep, returning its terminal status.
 func (c *Client) Cancel(ctx context.Context, id string) (Status, error) {
 	var st Status
-	err := c.do(ctx, http.MethodPost, "/v1/sweeps/"+id+"/cancel", nil, &st)
+	err := c.do(ctx, callCancel, http.MethodPost, "/v1/sweeps/"+id+"/cancel", nil, &st)
 	return st, err
 }
 
 // Wait polls until the sweep reaches a terminal state (or ctx ends).
+// A failed poll — daemon restarting, network partitioned — does not
+// abort the wait: each poll already rides the retry policy, and Wait
+// keeps polling through persistent failures until the deadline,
+// failing only on a permanent answer (e.g. 404: the sweep does not
+// exist).
 func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (Status, error) {
 	if poll <= 0 {
 		poll = 250 * time.Millisecond
 	}
+	var last Status
+	var lastErr error
 	for {
 		st, err := c.Status(ctx, id)
-		if err != nil {
-			return Status{}, err
-		}
-		if st.Terminal() {
-			return st, nil
+		switch {
+		case err == nil:
+			last, lastErr = st, nil
+			if st.Terminal() {
+				return st, nil
+			}
+		case !retryable(err) && ctx.Err() == nil:
+			return last, err
+		default:
+			lastErr = err
 		}
 		select {
 		case <-ctx.Done():
-			return st, ctx.Err()
+			if lastErr != nil {
+				return last, fmt.Errorf("%w (last poll error: %v)", ctx.Err(), lastErr)
+			}
+			return last, ctx.Err()
 		case <-time.After(poll):
 		}
 	}
@@ -162,9 +344,40 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (Statu
 
 // stream copies one sweep stream into w starting at byte offset,
 // returning the bytes written. With follow, the copy lasts until the
-// sweep is terminal and drained; the caller resumes a broken stream by
-// calling again with offset advanced by the bytes it already has.
+// sweep is terminal and drained. A connection torn mid-copy resumes
+// transparently: the next attempt asks for offset advanced by the
+// bytes already delivered, so the caller's byte sequence stays exact;
+// progress resets the retry budget, so only a connection that fails
+// repeatedly without delivering anything gives up.
 func (c *Client) stream(ctx context.Context, id, kind string, offset int64, follow bool, w io.Writer) (int64, error) {
+	var total int64
+	attempt := 0
+	for {
+		n, err := c.streamOnce(ctx, id, kind, offset+total, follow, w)
+		total += n
+		if err == nil {
+			return total, nil
+		}
+		if n > 0 {
+			attempt = 0
+		}
+		attempt++
+		if ctx.Err() != nil || attempt >= c.retry.Attempts() || !retryable(err) {
+			return total, err
+		}
+		recordRetry(callStream)
+		d := c.retry.Delay(callStream+"|"+id+"/"+kind, attempt)
+		if ra := retryAfter(err); ra > d {
+			d = ra
+		}
+		if !sleepCtxDone(ctx, d) {
+			return total, err
+		}
+	}
+}
+
+// streamOnce is one connection's worth of stream bytes.
+func (c *Client) streamOnce(ctx context.Context, id, kind string, offset int64, follow bool, w io.Writer) (int64, error) {
 	url := fmt.Sprintf("%s/v1/sweeps/%s/%s?offset=%d", c.base, id, kind, offset)
 	if !follow {
 		url += "&follow=0"

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"banshee/internal/fault/netfault"
 	"banshee/internal/obs"
 	"banshee/internal/runner"
 )
@@ -22,6 +23,16 @@ type Options struct {
 	// MaxActive bounds concurrently running sweeps (0 = 2); further
 	// submissions queue in submission order.
 	MaxActive int
+	// MaxQueued bounds sweeps waiting for a run slot beyond MaxActive
+	// (0 = 16; negative = unbounded). Past the bound, Submit sheds
+	// load with an *OverloadError — HTTP 429 plus Retry-After — so an
+	// overloaded daemon degrades by refusing work, never by falling
+	// over.
+	MaxQueued int
+	// MaxClientStreams bounds concurrent result/epoch/ledger streams
+	// per client host (0 = 16; negative = unbounded). Past the bound
+	// the stream request is shed with 429.
+	MaxClientStreams int
 	// LeaseTTL is the worker lease lifetime between renewals (0 = 10s).
 	LeaseTTL time.Duration
 	// Registry receives the daemon's service metrics and every sweep's
@@ -47,9 +58,13 @@ type Daemon struct {
 	sem        chan struct{}
 	wg         sync.WaitGroup
 
-	mu     sync.Mutex
-	sweeps map[string]*sweep
-	closed bool
+	maxQueued        int
+	maxClientStreams int
+
+	mu            sync.Mutex
+	sweeps        map[string]*sweep
+	clientStreams map[string]int // client host → open streams
+	closed        bool
 	// submitMu serializes Submit end to end: without it, two clients
 	// resubmitting the same failed sweep could race two engines onto
 	// one sink file. Submission is control-plane-rare; a single lock
@@ -59,7 +74,18 @@ type Daemon struct {
 	active         *obs.Gauge
 	submitted      *obs.Counter
 	sweepsFinished *obs.Counter
+	shedSubmit     *obs.Counter
+	shedStream     *obs.Counter
 }
+
+// OverloadError is the daemon shedding load: the caller should back
+// off for RetryAfter and try again. Served as HTTP 429 + Retry-After.
+type OverloadError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string { return "sweepd: overloaded: " + e.Reason }
 
 // New builds a daemon over stateDir and resumes every sweep a
 // previous process left unfinished.
@@ -79,23 +105,84 @@ func New(o Options) (*Daemon, error) {
 	if o.MaxActive <= 0 {
 		o.MaxActive = 2
 	}
+	maxQueued := o.MaxQueued
+	if maxQueued == 0 {
+		maxQueued = 16
+	}
+	maxStreams := o.MaxClientStreams
+	if maxStreams == 0 {
+		maxStreams = 16
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	d := &Daemon{
 		opts: o, store: store, reg: reg,
 		broker:  NewBroker(o.LeaseTTL, reg),
 		baseCtx: ctx, baseCancel: cancel,
-		sem:    make(chan struct{}, o.MaxActive),
-		sweeps: map[string]*sweep{},
+		sem:       make(chan struct{}, o.MaxActive),
+		maxQueued: maxQueued, maxClientStreams: maxStreams,
+		sweeps:        map[string]*sweep{},
+		clientStreams: map[string]int{},
 
 		active:         reg.Gauge("sweepd_sweeps_active", "sweeps holding a run slot right now"),
 		submitted:      reg.Counter("sweepd_sweeps_submitted_total", "sweep submissions accepted (idempotent resubmits included)"),
 		sweepsFinished: reg.Counter("sweepd_sweeps_finished_total", "sweeps reaching a terminal state"),
+		shedSubmit:     reg.Counter(`sweepd_load_shed_total{reason="submit"}`, "requests shed under load, by reason"),
+		shedStream:     reg.Counter(`sweepd_load_shed_total{reason="stream"}`, "requests shed under load, by reason"),
 	}
+	reg.GaugeFunc("sweepd_sweeps_queued", "sweeps waiting for a run slot",
+		func() float64 { return float64(d.queuedCount()) })
+	// The client/worker retry and fault-injection tallies are
+	// process-wide; exposing them on the daemon registry makes them
+	// scrapable in in-process chaos tests and in worker-attached
+	// daemons alike.
+	InstrumentNet(reg)
+	netfault.Instrument(reg)
 	if err := d.resume(); err != nil {
 		cancel()
 		return nil, err
 	}
 	return d, nil
+}
+
+// queuedCount counts live sweeps still waiting for a run slot.
+func (d *Daemon) queuedCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, sw := range d.sweeps {
+		if sw.status().State == StateQueued {
+			n++
+		}
+	}
+	return n
+}
+
+// acquireStream admits one stream for a client host, or sheds it.
+func (d *Daemon) acquireStream(host string) bool {
+	if d.maxClientStreams < 0 {
+		return true
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.clientStreams[host] >= d.maxClientStreams {
+		d.shedStream.Inc()
+		return false
+	}
+	d.clientStreams[host]++
+	return true
+}
+
+func (d *Daemon) releaseStream(host string) {
+	if d.maxClientStreams < 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.clientStreams[host] <= 1 {
+		delete(d.clientStreams, host)
+	} else {
+		d.clientStreams[host]--
+	}
 }
 
 // Store exposes the daemon's durable store (read-only use: tests and
@@ -217,6 +304,16 @@ func (d *Daemon) Submit(spec Spec) (Status, error) {
 	} else if done {
 		if err := d.store.ClearDone(id); err != nil {
 			return Status{}, err
+		}
+	}
+	// Backpressure: only genuinely NEW work is shed — the idempotent
+	// paths above (live resubmit, completed sweep) always answer, so a
+	// client polling its own sweep is never turned away.
+	if q := d.queuedCount(); d.maxQueued >= 0 && q >= d.maxQueued {
+		d.shedSubmit.Inc()
+		return Status{}, &OverloadError{
+			Reason:     fmt.Sprintf("submission queue full (%d sweeps queued, max %d)", q, d.maxQueued),
+			RetryAfter: 2 * time.Second,
 		}
 	}
 	if err := d.store.SaveSpec(id, spec); err != nil {

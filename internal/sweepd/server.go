@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"strconv"
@@ -64,11 +65,20 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {
+	var oe *OverloadError
+	if errors.As(err, &oe) && oe.RetryAfter > 0 {
+		secs := int((oe.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
 	writeJSON(w, code, apiError{Error: err.Error()})
 }
 
 // errorCode maps daemon errors to HTTP statuses.
 func errorCode(err error) int {
+	var oe *OverloadError
+	if errors.As(err, &oe) {
+		return http.StatusTooManyRequests
+	}
 	s := err.Error()
 	switch {
 	case strings.Contains(s, "no sweep"):
@@ -80,6 +90,14 @@ func errorCode(err error) int {
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// clientHost extracts the per-client key stream limits bucket by.
+func clientHost(remoteAddr string) string {
+	if host, _, err := net.SplitHostPort(remoteAddr); err == nil {
+		return host
+	}
+	return remoteAddr
 }
 
 func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -151,6 +169,16 @@ func (d *Daemon) streamHandler(path func(id string) string) http.HandlerFunc {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
+		host := clientHost(r.RemoteAddr)
+		if !d.acquireStream(host) {
+			oe := &OverloadError{
+				Reason:     fmt.Sprintf("too many concurrent streams for client %s (max %d)", host, d.maxClientStreams),
+				RetryAfter: time.Second,
+			}
+			writeError(w, http.StatusTooManyRequests, oe)
+			return
+		}
+		defer d.releaseStream(host)
 		follow := r.URL.Query().Get("follow") != "0"
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		d.streamFile(w, r, id, path(id), offset, follow)
@@ -288,6 +316,9 @@ type leaseJob struct {
 // LeaseUpdate renews or resolves a lease.
 type LeaseUpdate struct {
 	Lease string `json:"lease"`
+	// Job is the reported job's content key (result endpoint): the
+	// idempotency key the daemon dedupes redelivered reports by.
+	Job string `json:"job,omitempty"`
 	// Result/Error report the attempt outcome (result endpoint only).
 	Result *stats.Sim `json:"result,omitempty"`
 	Error  string     `json:"error,omitempty"`
@@ -318,7 +349,7 @@ func (d *Daemon) handleLease(w http.ResponseWriter, r *http.Request) {
 	cfg, err := json.Marshal(job.Config)
 	if err != nil {
 		// Undeliverable job: decline it back to local execution.
-		d.broker.Resolve(id, stats.Sim{}, fmt.Errorf("sweepd: job config not encodable: %w", err))
+		d.broker.Resolve(id, job.ID, stats.Sim{}, fmt.Errorf("sweepd: job config not encodable: %w", err))
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -358,7 +389,7 @@ func (d *Daemon) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("sweepd: result needs result or error"))
 		return
 	}
-	if err := d.broker.Resolve(req.Lease, st, attemptErr); err != nil {
+	if err := d.broker.Resolve(req.Lease, req.Job, st, attemptErr); err != nil {
 		// The lease expired and the job is re-running locally: the
 		// worker's result is discarded, by design exactly once.
 		writeError(w, http.StatusGone, err)

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"sort"
 	"time"
+
+	"banshee/internal/errs"
 )
 
 // Store is the daemon's durable state: one directory per sweep under
@@ -58,20 +60,48 @@ func (s *Store) SpecPath(id string) string { return s.path(id, "spec.json") }
 // DonePath is the sweep's terminal-status marker.
 func (s *Store) DonePath(id string) string { return s.path(id, "done.json") }
 
-// writeAtomic writes data to path via a temp file + rename, so a crash
-// mid-write can never leave a torn spec or done marker: the file either
-// exists complete or not at all.
+// writeAtomic writes data to path via a temp file + fsync + rename, so
+// a crash mid-write can never leave a torn spec or done marker: the
+// file either exists complete or not at all. The temp file is synced
+// before the rename (else a power loss could commit a name pointing at
+// unwritten blocks) and the parent directory is synced after it (else
+// the rename itself could be lost). Out-of-space failures come back as
+// errs.ErrDiskFull so callers pause instead of treating the sweep as
+// corrupt.
 func (s *Store) writeAtomic(path string, v interface{}) error {
+	base := filepath.Base(path)
 	b, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
-		return fmt.Errorf("sweepd: encode %s: %w", filepath.Base(path), err)
+		return fmt.Errorf("sweepd: encode %s: %w", base, err)
 	}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
-		return fmt.Errorf("sweepd: write %s: %w", filepath.Base(path), err)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return errs.WrapDiskFull("create "+base, fmt.Errorf("sweepd: write %s: %w", base, err))
+	}
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return errs.WrapDiskFull("write "+base, fmt.Errorf("sweepd: write %s: %w", base, err))
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return errs.WrapDiskFull("fsync "+base, fmt.Errorf("sweepd: fsync %s: %w", base, err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return errs.WrapDiskFull("close "+base, fmt.Errorf("sweepd: write %s: %w", base, err))
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("sweepd: commit %s: %w", filepath.Base(path), err)
+		os.Remove(tmp)
+		return errs.WrapDiskFull("commit "+base, fmt.Errorf("sweepd: commit %s: %w", base, err))
+	}
+	// Make the rename durable. Best-effort: directory fsync is not
+	// supported everywhere, and its failure cannot un-commit the file.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
 	}
 	return nil
 }

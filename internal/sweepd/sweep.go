@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"banshee/internal/errs"
 	"banshee/internal/obs"
 	"banshee/internal/runner"
 	"banshee/internal/sim"
@@ -144,6 +145,10 @@ func (d *Daemon) execute(ctx context.Context, sw *sweep) (rs *runner.ResultSet, 
 	if err != nil {
 		return nil, err
 	}
+	// The daemon's checkpoint is the system of record for resume, so
+	// each flushed record is also fsynced: a machine crash loses at most
+	// the in-flight line, never an acknowledged record.
+	sink.SetSync(true)
 	defer func() {
 		if cerr := sink.Close(); cerr != nil && err == nil {
 			err = fmt.Errorf("sweepd: sink close: %w", cerr)
@@ -202,11 +207,27 @@ func (d *Daemon) finish(sw *sweep, rs *runner.ResultSet, err error) {
 		return
 	case sw.cancelled.Load() && errorsIsCancel(err):
 		st.State = StateCancelled
+	case errors.Is(err, errs.ErrDiskFull):
+		// Disk full is environmental, not a property of the sweep:
+		// pause rather than fail. No done marker is written, so the
+		// checkpoint prefix stays the resume point — a daemon restart
+		// (or a resubmit of the same spec) continues the sweep once an
+		// operator frees space.
+		sw.setFinal(Status{ID: sw.id, Name: sw.spec.Name, Jobs: len(sw.jobs),
+			State: StateQueued, Error: err.Error()})
+		return
 	default:
 		st.State = StateFailed
 		st.Error = err.Error()
 	}
 	if werr := d.store.MarkDone(sw.id, st); werr != nil {
+		if errors.Is(werr, errs.ErrDiskFull) {
+			// Same pause semantics when the marker itself can't be
+			// written: the next run converges from the checkpoint.
+			sw.setFinal(Status{ID: sw.id, Name: sw.spec.Name, Jobs: len(sw.jobs),
+				State: StateQueued, Error: werr.Error()})
+			return
+		}
 		st.State = StateFailed
 		st.Error = fmt.Sprintf("%v (terminal state not persisted: %v)", st.Error, werr)
 	}

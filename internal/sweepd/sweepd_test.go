@@ -452,7 +452,7 @@ func TestLeaseExpiryRerunsLocally(t *testing.T) {
 	if lease == "" {
 		t.Fatal("vanishing worker never took a lease")
 	}
-	if err := d.Broker().Resolve(lease, stats.Sim{}, nil); err != ErrLeaseGone {
+	if err := d.Broker().Resolve(lease, "", stats.Sim{}, nil); err != ErrLeaseGone {
 		t.Fatalf("late result for dead lease: err = %v, want ErrLeaseGone", err)
 	}
 }

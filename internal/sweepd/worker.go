@@ -35,9 +35,21 @@ type Worker struct {
 	// LeaseWait is the long-poll window per lease request (0 = 25s; the
 	// daemon caps it server-side).
 	LeaseWait time.Duration
+	// Retry paces the pull loop's backoff after transient daemon
+	// errors (zero = 200ms base, 5s cap). Individual HTTP calls
+	// already ride the Client's own policy; this bounds how hard a
+	// worker hammers a daemon that is down or shedding load.
+	Retry runner.RetryPolicy
 	// Log, when non-nil, receives one line per leased job and per
 	// outcome.
 	Log io.Writer
+}
+
+func (wk *Worker) retryPolicy() runner.RetryPolicy {
+	if wk.Retry.MaxAttempts > 0 || wk.Retry.BaseDelay > 0 {
+		return wk.Retry
+	}
+	return runner.RetryPolicy{MaxAttempts: 8, BaseDelay: 200 * time.Millisecond, MaxDelay: 5 * time.Second}
 }
 
 func (wk *Worker) name() string {
@@ -65,17 +77,29 @@ func (wk *Worker) Run(ctx context.Context) error {
 		wait = 25 * time.Second
 	}
 	name := wk.name()
+	policy := wk.retryPolicy()
 	done := make(chan struct{}, slots)
 	for s := 0; s < slots; s++ {
 		go func(slot int) {
 			defer func() { done <- struct{}{} }()
 			slotName := fmt.Sprintf("%s/%d", name, slot)
+			failures := 0
 			for ctx.Err() == nil {
 				if err := wk.pullOne(ctx, slotName, wait); err != nil && ctx.Err() == nil {
-					if wk.Log != nil {
-						fmt.Fprintf(wk.Log, "worker %s: %v (retrying)\n", slotName, err)
+					// Exponential backoff with deterministic jitter,
+					// clamped so a long outage settles at MaxDelay
+					// instead of overflowing the shift.
+					failures = min(failures+1, 16)
+					d := policy.Delay(slotName, failures)
+					if d <= 0 {
+						d = time.Second
 					}
-					sleepCtx(ctx, time.Second)
+					if wk.Log != nil {
+						fmt.Fprintf(wk.Log, "worker %s: %v (retrying in %v)\n", slotName, err, d.Round(time.Millisecond))
+					}
+					sleepCtx(ctx, d)
+				} else {
+					failures = 0
 				}
 			}
 		}(s)
@@ -107,7 +131,7 @@ func (wk *Worker) pullOne(ctx context.Context, slotName string, wait time.Durati
 	if err != nil {
 		// Undecodable job: report the failure so the daemon's Dispatch
 		// resolves instead of waiting out the TTL.
-		wk.report(ctx, grant.Lease, nil, fmt.Errorf("worker: bad job: %w", err))
+		wk.report(ctx, grant.Lease, grant.Job.ID, nil, fmt.Errorf("worker: bad job: %w", err))
 		return err
 	}
 	if wk.Log != nil {
@@ -115,26 +139,38 @@ func (wk *Worker) pullOne(ctx context.Context, slotName string, wait time.Durati
 	}
 
 	// Renew the lease at a third of its TTL while the simulation runs.
-	// A renewal hitting 410 Gone means the daemon gave up on us (or
-	// restarted); cancel the attempt — its result would be discarded
-	// anyway.
+	// A transient renewal failure — latency spike, daemon briefly
+	// partitioned — is NOT fatal: the lease stays valid until its
+	// deadline, so the loop just retries sooner, and only abandons the
+	// attempt once a full TTL has passed since the last confirmed
+	// renewal (the broker has certainly expired the lease by then). An
+	// explicit 410 Gone is the daemon saying so directly; cancel the
+	// attempt — its result would be discarded anyway.
 	runCtx, cancel := context.WithCancel(ctx)
 	renewDone := make(chan struct{})
 	go func() {
 		defer close(renewDone)
-		interval := time.Duration(grant.TTLMs) * time.Millisecond / 3
-		if interval <= 0 {
-			interval = time.Second
+		ttl := time.Duration(grant.TTLMs) * time.Millisecond
+		if ttl <= 0 {
+			ttl = 3 * time.Second
 		}
+		interval := ttl / 3
+		lastOK := time.Now()
 		for {
 			select {
 			case <-runCtx.Done():
 				return
 			case <-time.After(interval):
 			}
-			if err := wk.renew(ctx, grant.Lease); err != nil {
+			switch err := wk.renew(ctx, grant.Lease); {
+			case err == nil:
+				lastOK = time.Now()
+				interval = ttl / 3
+			case isGone(err), time.Since(lastOK) > ttl:
 				cancel()
 				return
+			default:
+				interval = max(ttl/6, 50*time.Millisecond)
 			}
 		}
 	}()
@@ -155,7 +191,13 @@ func (wk *Worker) pullOne(ctx context.Context, slotName string, wait time.Durati
 		}
 		fmt.Fprintf(wk.Log, "worker %s: finished %s: %s\n", slotName, job.ID, outcome)
 	}
-	return wk.report(ctx, grant.Lease, &st, simErr)
+	return wk.report(ctx, grant.Lease, job.ID, &st, simErr)
+}
+
+// isGone reports whether err is the daemon's 410: the lease is dead.
+func isGone(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusGone
 }
 
 // runLeased simulates one leased job with the same panic isolation the
@@ -185,10 +227,12 @@ func (j leaseJob) decode() (runner.Job, error) {
 }
 
 // lease long-polls for one grant. ok=false means the window closed
-// with no work.
+// with no work. The per-attempt deadline covers the whole long-poll
+// window plus slack — the daemon legitimately sits on the request.
 func (wk *Worker) lease(ctx context.Context, name string, wait time.Duration) (LeaseGrant, bool, error) {
 	var grant LeaseGrant
-	err := wk.Client.do(ctx, http.MethodPost, "/v1/workers/lease",
+	err := wk.Client.doCall(ctx, callLease, wait+10*time.Second,
+		http.MethodPost, "/v1/workers/lease",
 		LeaseRequest{Worker: name, WaitMs: wait.Milliseconds()}, &grant)
 	if err != nil {
 		return LeaseGrant{}, false, err
@@ -200,23 +244,24 @@ func (wk *Worker) lease(ctx context.Context, name string, wait time.Duration) (L
 }
 
 func (wk *Worker) renew(ctx context.Context, lease string) error {
-	return wk.Client.do(ctx, http.MethodPost, "/v1/workers/renew", LeaseUpdate{Lease: lease}, nil)
+	return wk.Client.do(ctx, callRenew, http.MethodPost, "/v1/workers/renew", LeaseUpdate{Lease: lease}, nil)
 }
 
-// report delivers the attempt outcome. A 410 Gone — the lease expired
-// and the daemon re-ran the job — is not an error: the outcome is
-// simply discarded, preserving the one-attempt-outcome-per-dispatch
-// rule.
-func (wk *Worker) report(ctx context.Context, lease string, st *stats.Sim, simErr error) error {
-	upd := LeaseUpdate{Lease: lease}
+// report delivers the attempt outcome, keyed by (lease, job) so the
+// daemon can dedupe redelivery: a retried report after a lost ACK is
+// recognized and answered as already-accepted rather than recorded
+// twice. A 410 Gone — the lease expired and the daemon re-ran the job
+// — is not an error: the outcome is simply discarded, preserving the
+// one-attempt-outcome-per-dispatch rule.
+func (wk *Worker) report(ctx context.Context, lease, jobID string, st *stats.Sim, simErr error) error {
+	upd := LeaseUpdate{Lease: lease, Job: jobID}
 	if simErr != nil {
 		upd.Error = simErr.Error()
 	} else {
 		upd.Result = st
 	}
-	err := wk.Client.do(ctx, http.MethodPost, "/v1/workers/result", upd, nil)
-	var ae *APIError
-	if errors.As(err, &ae) && ae.Status == http.StatusGone {
+	err := wk.Client.do(ctx, callReport, http.MethodPost, "/v1/workers/result", upd, nil)
+	if isGone(err) {
 		return nil
 	}
 	return err

@@ -1,0 +1,267 @@
+// Network-chaos e2e on the real binaries: workers reach the daemon
+// only through a byte-level chaos proxy (connection cuts, stalls,
+// partition windows) while one of them is SIGKILL'd mid-lease — and
+// the sweep still converges byte-identical to a local RunBatch. A
+// second test smokes the operator surface: daemon backpressure answers
+// 429 through sweepctl, and `sweepctl wait -timeout` exits 124.
+package banshee_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"banshee"
+	"banshee/internal/fault/netfault"
+	"banshee/internal/runner"
+)
+
+// buildBin compiles ./cmd/<name> into dir.
+func buildBin(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	build := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/%s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+// startWorker launches `sweepd worker -join addr` logging to logPath.
+func startWorker(t *testing.T, bin, addr, logPath string) *exec.Cmd {
+	t.Helper()
+	logf, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wk := exec.Command(bin, "worker", "-join", addr, "-parallel", "1")
+	wk.Stdout = logf
+	wk.Stderr = logf
+	if err := wk.Start(); err != nil {
+		logf.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		logf.Close()
+		if wk.ProcessState == nil {
+			wk.Process.Kill()
+			wk.Wait()
+		}
+	})
+	return wk
+}
+
+// TestNetChaosProxyPartitionSIGKILL is the subprocess acceptance run:
+// two worker processes attached through a chaos proxy that cuts and
+// stalls their connections, a deliberate partition window mid-sweep,
+// and a SIGKILL of one worker while it holds a lease. The daemon must
+// absorb all of it — results byte-identical to a local RunBatch, zero
+// duplicate records.
+func TestNetChaosProxyPartitionSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills subprocesses")
+	}
+	dir := t.TempDir()
+	bin := buildSweepd(t, dir)
+	m := e2eMatrix()
+	golden := goldenBatch(t, m)
+
+	state := filepath.Join(dir, "state")
+	_, addr := startSweepd(t, bin, state, filepath.Join(dir, "serve.log"),
+		"-lease-ttl", "1s", "-parallel", "2")
+
+	proxy, err := netfault.NewProxy(addr, netfault.ProxyPlan{
+		Seed: 7, CutRate: 0.10, StallRate: 0.10,
+		CutAfter: 8 << 10, Stall: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	wk1 := startWorker(t, bin, proxy.Addr(), filepath.Join(dir, "worker1.log"))
+	startWorker(t, bin, proxy.Addr(), filepath.Join(dir, "worker2.log"))
+
+	c, err := banshee.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	st, err := c.SubmitMatrix(ctx, m, banshee.SweepOptions{})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	// Once a worker holds a lease: partition the proxy and SIGKILL one
+	// worker inside the window — the worst compound failure the service
+	// is built for.
+	deadline := time.Now().Add(60 * time.Second)
+	disrupted := false
+	for time.Now().Before(deadline) {
+		if v, ok := scrapeMetric(addr, "sweepd_leases_outstanding"); ok && v > 0 {
+			proxy.Partition(time.Second)
+			wk1.Process.Signal(syscall.SIGKILL)
+			disrupted = true
+			break
+		}
+		if final, err := c.Status(ctx, st.ID); err == nil && final.Terminal() {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !disrupted {
+		t.Fatalf("no worker held a lease before the sweep finished")
+	}
+	wk1.Wait()
+
+	final, err := c.Wait(ctx, st.ID, 200*time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if final.State != banshee.SweepDone {
+		t.Fatalf("sweep ended %+v, want done", final)
+	}
+
+	var streamed bytes.Buffer
+	if _, err := c.StreamResults(ctx, st.ID, 0, &streamed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed.Bytes(), golden) {
+		t.Fatalf("results after partition+SIGKILL diverge from local RunBatch:\n got %d bytes\nwant %d bytes",
+			streamed.Len(), len(golden))
+	}
+	recs, err := runner.ParseRecords(streamed.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, r := range recs {
+		seen[fmt.Sprintf("%s|%s|%s|%s|%d", r.Matrix, r.Label, r.Workload, r.Scheme, r.Seed)]++
+	}
+	for coord, n := range seen {
+		if n != 1 {
+			t.Fatalf("coordinate %s recorded %d times", coord, n)
+		}
+	}
+	if proxy.PartitionCount() == 0 {
+		t.Fatal("partition window never tripped — the chaos path was not exercised")
+	}
+	exp, _ := scrapeMetric(addr, "sweepd_lease_expiries_total")
+	rem, _ := scrapeMetric(addr, "sweepd_remote_results_total")
+	if exp+rem == 0 {
+		t.Fatal("no lease expiries and no remote results — workers never participated")
+	}
+}
+
+// TestNetChaos429AndWaitTimeout smokes the operator surface under
+// load: with the daemon at max-active 1 / max-queued 1, a third
+// submission through sweepctl is refused with the daemon's 429, and
+// `sweepctl wait -timeout` on the still-running sweep exits 124.
+func TestNetChaos429AndWaitTimeout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds subprocesses")
+	}
+	dir := t.TempDir()
+	bin := buildSweepd(t, dir)
+	ctl := buildBin(t, dir, "sweepctl")
+
+	state := filepath.Join(dir, "state")
+	_, addr := startSweepd(t, bin, state, filepath.Join(dir, "serve.log"),
+		"-max-active", "1", "-max-queued", "1", "-parallel", "1")
+
+	// Three distinct long-running specs: one to run, one to queue, one
+	// to be shed.
+	specPath := func(i int) string {
+		m := e2eMatrix()
+		m.Name = fmt.Sprintf("shed-%d", i)
+		m.Base.InstrPerCore = 20_000_000 // minutes of work; cancelled at the end
+		m.Base.Seed = uint64(50 + i)
+		spec, err := banshee.SweepSpecFromMatrix(m, banshee.SweepOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, fmt.Sprintf("spec%d.json", i))
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	ctlRun := func(args ...string) (string, int) {
+		cmd := exec.Command(ctl, append([]string{"-addr", addr}, args...)...)
+		out, err := cmd.CombinedOutput()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("sweepctl %v: %v\n%s", args, err, out)
+		}
+		return string(out), code
+	}
+
+	c, err := banshee.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	if out, code := ctlRun("submit", specPath(0)); code != 0 {
+		t.Fatalf("submit 0 exited %d:\n%s", code, out)
+	}
+	var st0 banshee.SweepStatus
+	// Wait for sweep 0 to leave the queue so it stops counting against
+	// max-queued.
+	sts, err := c.List(ctx)
+	if err != nil || len(sts) != 1 {
+		t.Fatalf("list after first submit: %v (%d sweeps)", err, len(sts))
+	}
+	st0 = sts[0]
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if cur, err := c.Status(ctx, st0.ID); err == nil && cur.State == banshee.SweepRunning {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if out, code := ctlRun("submit", specPath(1)); code != 0 {
+		t.Fatalf("submit 1 (queued) exited %d:\n%s", code, out)
+	}
+	// The queue is full: the third submission must be shed with 429
+	// (sweepctl retries the daemon's Retry-After, then reports it).
+	out, code := ctlRun("submit", specPath(2))
+	if code == 0 || !bytes.Contains([]byte(out), []byte("429")) {
+		t.Fatalf("submit over full queue exited %d without a 429:\n%s", code, out)
+	}
+
+	// `wait -timeout` on the still-running sweep exits 124.
+	out, code = ctlRun("wait", st0.ID, "-timeout", "500ms")
+	if code != 124 {
+		t.Fatalf("wait -timeout exited %d, want 124:\n%s", code, out)
+	}
+
+	for _, st := range mustList(t, c, ctx) {
+		c.Cancel(ctx, st.ID)
+	}
+}
+
+func mustList(t *testing.T, c *banshee.SweepClient, ctx context.Context) []banshee.SweepStatus {
+	t.Helper()
+	sts, err := c.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sts
+}
